@@ -1,0 +1,55 @@
+"""Experiment E1 — determinism testing: linear skeleton test vs Glushkov baseline.
+
+Paper claim (Theorem 3.5 vs. Brüggemann-Klein's test): the skeleton-based
+test is O(|e|) while building and checking the Glushkov automaton is
+O(σ|e|), i.e. quadratic on the mixed-content family ``(a1+...+am)*``.
+Expected shape: the ``linear`` rows grow proportionally to ``m`` while the
+``glushkov`` rows grow roughly with ``m²``, so the ratio between the two
+widens as the alphabet grows.  The DTD-like corpus rows show the same
+comparison on realistic content models.
+"""
+
+import pytest
+
+from repro.automata.glushkov import GlushkovAutomaton
+from repro.core.determinism import DeterminismChecker
+
+from .workloads import dtd_like_trees, mixed_content_tree
+
+MIXED_SIZES = [64, 256, 1024]
+
+
+@pytest.mark.parametrize("symbols", MIXED_SIZES)
+def test_linear_determinism_mixed_content(benchmark, symbols):
+    tree = mixed_content_tree(symbols)
+    result = benchmark(lambda: DeterminismChecker(tree).is_deterministic())
+    assert result is True
+
+
+@pytest.mark.parametrize("symbols", MIXED_SIZES)
+def test_glushkov_determinism_mixed_content(benchmark, symbols):
+    tree = mixed_content_tree(symbols)
+    result = benchmark(lambda: GlushkovAutomaton(tree).is_deterministic())
+    assert result is True
+
+
+@pytest.mark.parametrize("models", [200])
+def test_linear_determinism_dtd_corpus(benchmark, models):
+    trees = dtd_like_trees(models)
+
+    def run():
+        return sum(1 for tree in trees if DeterminismChecker(tree).is_deterministic())
+
+    deterministic = benchmark(run)
+    assert deterministic > 0
+
+
+@pytest.mark.parametrize("models", [200])
+def test_glushkov_determinism_dtd_corpus(benchmark, models):
+    trees = dtd_like_trees(models)
+
+    def run():
+        return sum(1 for tree in trees if GlushkovAutomaton(tree).is_deterministic())
+
+    deterministic = benchmark(run)
+    assert deterministic > 0

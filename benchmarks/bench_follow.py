@@ -1,0 +1,42 @@
+"""Experiment E2 — constant-time follow queries (Theorem 2.4).
+
+Paper claim: after O(|e|) preprocessing, ``checkIfFollow(p, q)`` runs in
+O(1).  Expected shape: the per-query cost (total time divided by the fixed
+number of queries) stays flat as the expression grows, while the
+preprocessing row grows linearly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.follow import FollowIndex
+
+from .workloads import SEED, chare_tree
+
+SIZES = [32, 128, 512]
+QUERIES = 2000
+
+
+@pytest.mark.parametrize("factors", SIZES)
+def test_follow_index_preprocessing(benchmark, factors):
+    tree = chare_tree(factors)
+    index = benchmark(lambda: FollowIndex(tree))
+    assert index.tree is tree
+
+
+@pytest.mark.parametrize("factors", SIZES)
+def test_follow_queries_constant_time(benchmark, factors):
+    tree = chare_tree(factors)
+    index = FollowIndex(tree)
+    generator = random.Random(SEED)
+    pairs = [
+        (generator.choice(tree.positions), generator.choice(tree.positions))
+        for _ in range(QUERIES)
+    ]
+
+    def run():
+        return sum(1 for p, q in pairs if index.follows(p, q))
+
+    hits = benchmark(run)
+    assert 0 <= hits <= QUERIES

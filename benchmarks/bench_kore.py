@@ -1,0 +1,38 @@
+"""Experiment E3 — k-occurrence matching (Theorem 4.3).
+
+Paper claim: a deterministic k-ORE can be matched in O(|e| + k|w|).
+Expected shape: for a fixed word length, matching time grows roughly
+linearly with k (the number of candidate positions probed per symbol) and
+stays well below the Glushkov baseline's preprocessing for large alphabets.
+"""
+
+import pytest
+
+from repro.matching import GlushkovMatcher, KOccurrenceMatcher
+
+from .workloads import kore_workload
+
+WORD_LENGTH = 4000
+K_VALUES = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_kore_matching(benchmark, k):
+    tree, word = kore_workload(k, WORD_LENGTH)
+    matcher = KOccurrenceMatcher(tree, verify=False)
+    assert matcher.occurrence_bound == k
+    assert benchmark(lambda: matcher.accepts(word)) is True
+
+
+@pytest.mark.parametrize("k", [2, 8])
+def test_kore_preprocessing(benchmark, k):
+    tree, _ = kore_workload(k, WORD_LENGTH)
+    matcher = benchmark(lambda: KOccurrenceMatcher(tree, verify=False))
+    assert matcher.tree is tree
+
+
+@pytest.mark.parametrize("k", [2, 8])
+def test_glushkov_baseline_matching(benchmark, k):
+    tree, word = kore_workload(k, WORD_LENGTH)
+    matcher = GlushkovMatcher(tree, verify=False)
+    assert benchmark(lambda: matcher.accepts(word)) is True

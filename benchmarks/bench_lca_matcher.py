@@ -1,0 +1,46 @@
+"""Experiment E5 — lowest-colored-ancestor matching (Theorem 4.2).
+
+Paper claim: arbitrary deterministic expressions can be matched in
+O(|e| + |w| log log |e|) after expected O(|e|) preprocessing.  Expected
+shape: for a fixed word, matching time grows only marginally as the
+expression size increases (the log log factor), far slower than the
+expression itself grows, while the Glushkov baseline pays its whole
+transition table up front.
+"""
+
+import pytest
+
+from repro.automata.glushkov import GlushkovDFA
+from repro.matching import LowestColoredAncestorMatcher
+
+from .workloads import large_deterministic_tree
+
+BLOCKS = [16, 64, 256]
+
+
+@pytest.mark.parametrize("blocks", BLOCKS)
+def test_lca_matcher_matching(benchmark, blocks):
+    tree, word = large_deterministic_tree(blocks)
+    matcher = LowestColoredAncestorMatcher(tree, verify=False)
+    assert benchmark(lambda: matcher.accepts(word)) is True
+
+
+@pytest.mark.parametrize("blocks", BLOCKS)
+def test_lca_matcher_preprocessing(benchmark, blocks):
+    tree, _ = large_deterministic_tree(blocks)
+    matcher = benchmark(lambda: LowestColoredAncestorMatcher(tree, verify=False))
+    assert matcher.color_assignment_count() > 0
+
+
+@pytest.mark.parametrize("blocks", BLOCKS)
+def test_glushkov_dfa_preprocessing_baseline(benchmark, blocks):
+    tree, _ = large_deterministic_tree(blocks)
+    dfa = benchmark(lambda: GlushkovDFA.from_expression(tree.source))
+    assert dfa.automaton.state_count() > 0
+
+
+@pytest.mark.parametrize("blocks", [64])
+def test_glushkov_dfa_matching_baseline(benchmark, blocks):
+    tree, word = large_deterministic_tree(blocks)
+    dfa = GlushkovDFA.from_expression(tree.source)
+    assert benchmark(lambda: dfa.accepts(word)) is True

@@ -1,0 +1,36 @@
+"""Experiment E7 — determinism with numeric occurrence indicators (Section 3.3).
+
+Paper claim: determinism of XML-Schema-style expressions with counters can
+be decided in time linear in the expression (improving on the O(σ|e|) of
+Kilpeläinen).  Expected shape: the counter-aware checker's time grows
+close to linearly with the number of particles, and stays cheaper than
+expanding the counters and running the Glushkov baseline on the expansion.
+"""
+
+import pytest
+
+from repro.automata.glushkov import GlushkovAutomaton
+from repro.core.numeric import check_deterministic_numeric
+from repro.regex.parse_tree import build_parse_tree
+
+from .workloads import numeric_workload
+
+BLOCKS = [16, 64, 256]
+
+
+@pytest.mark.parametrize("blocks", BLOCKS)
+def test_numeric_determinism_check(benchmark, blocks):
+    expr = numeric_workload(blocks)
+    report = benchmark(lambda: check_deterministic_numeric(expr))
+    assert report.deterministic
+
+
+@pytest.mark.parametrize("blocks", BLOCKS)
+def test_expansion_plus_glushkov_baseline(benchmark, blocks):
+    expr = numeric_workload(blocks)
+
+    def run():
+        tree = build_parse_tree(expr)  # expands the counters
+        return GlushkovAutomaton(tree).is_deterministic()
+
+    assert benchmark(run) is True

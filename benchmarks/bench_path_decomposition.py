@@ -1,0 +1,65 @@
+"""Experiment E4 — path-decomposition matching (Theorem 4.10).
+
+Paper claim: matching costs O(|e| + c_e|w|) where c_e is the +/·
+alternation depth; the naïve climbing procedure costs O(|e| + depth(e)|w|).
+Expected shape: the path-decomposition rows grow slowly with the nesting
+depth (the amortised number of nexttop jumps per symbol stays near c_e),
+while the climbing rows track the full tree depth.
+"""
+
+import pytest
+
+from repro.matching import ClimbingMatcher, PathDecompositionMatcher
+
+from .workloads import alternation_words
+
+DEPTHS = [2, 4, 8, 16]
+WORD_COUNT = 600
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_path_decomposition_matching(benchmark, depth):
+    tree, words = alternation_words(depth, WORD_COUNT)
+    matcher = PathDecompositionMatcher(tree, verify=False)
+
+    def run():
+        return sum(1 for word in words if matcher.accepts(word))
+
+    accepted = benchmark(run)
+    assert accepted == len(words)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_climbing_baseline_matching(benchmark, depth):
+    tree, words = alternation_words(depth, WORD_COUNT)
+    matcher = ClimbingMatcher(tree, verify=False)
+
+    def run():
+        return sum(1 for word in words if matcher.accepts(word))
+
+    accepted = benchmark(run)
+    assert accepted == len(words)
+
+
+@pytest.mark.parametrize("depth", [8])
+def test_path_decomposition_preprocessing(benchmark, depth):
+    tree, _ = alternation_words(depth, WORD_COUNT)
+    matcher = benchmark(lambda: PathDecompositionMatcher(tree, verify=False))
+    assert matcher.head_count() > 0
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_jumps_per_symbol_track_alternation_depth(benchmark, depth):
+    """Lemma 4.9 instrumentation: amortised nexttop jumps per consumed symbol."""
+    tree, words = alternation_words(depth, WORD_COUNT)
+    matcher = PathDecompositionMatcher(tree, verify=False)
+    total_symbols = sum(len(word) for word in words) or 1
+
+    def run():
+        matcher.reset_jump_count()
+        for word in words:
+            matcher.accepts(word)
+        return matcher.jump_count / total_symbols
+
+    jumps_per_symbol = benchmark(run)
+    assert jumps_per_symbol <= depth + 6

@@ -1,0 +1,50 @@
+"""Experiment E6 — star-free multi-word matching (Theorem 4.12).
+
+Paper claim: N words can be matched against a star-free deterministic
+expression in combined time O(|e| + |w1| + ... + |wN|), i.e. one traversal
+of the expression regardless of how many words are matched.  Expected
+shape: the batch matcher's time grows with the total word volume only,
+while matching the words one by one with a per-word matcher re-pays the
+per-word transition simulation overhead.
+"""
+
+import pytest
+
+from repro.matching import KOccurrenceMatcher, StarFreeMultiMatcher
+
+from .workloads import star_free_workload
+
+FACTORS = 60
+WORD_COUNTS = [100, 400, 1600]
+
+
+@pytest.mark.parametrize("words", WORD_COUNTS)
+def test_star_free_batch_matching(benchmark, words):
+    _, tree, batch = star_free_workload(FACTORS, words)
+    matcher = StarFreeMultiMatcher(tree, verify=False)
+
+    def run():
+        return sum(matcher.match_all(list(batch)))
+
+    accepted = benchmark(run)
+    assert accepted == len(batch)
+
+
+@pytest.mark.parametrize("words", WORD_COUNTS)
+def test_per_word_baseline(benchmark, words):
+    _, tree, batch = star_free_workload(FACTORS, words)
+    matcher = KOccurrenceMatcher(tree, verify=False)
+
+    def run():
+        return sum(1 for word in batch if matcher.accepts(word))
+
+    accepted = benchmark(run)
+    assert accepted == len(batch)
+
+
+@pytest.mark.parametrize("factors", [30, 120])
+def test_star_free_expression_scaling(benchmark, factors):
+    _, tree, batch = star_free_workload(factors, 200)
+    matcher = StarFreeMultiMatcher(tree, verify=False)
+    accepted = benchmark(lambda: sum(matcher.match_all(list(batch))))
+    assert accepted == len(batch)

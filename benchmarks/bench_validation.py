@@ -1,0 +1,47 @@
+"""Experiment E8 — end-to-end DTD validation.
+
+The paper's motivating application: validating an XML document checks each
+element's child sequence against a deterministic content model.  Expected
+shape: validation time grows linearly with the document size (the content
+models are fixed), and the one-off validator construction (determinism
+checks + matcher preprocessing) is independent of the document.
+"""
+
+import pytest
+
+from repro.xml import DTDValidator
+
+from .workloads import validation_workload
+
+PRODUCTS = [100, 400, 1600]
+
+
+@pytest.mark.parametrize("products", PRODUCTS)
+def test_document_validation(benchmark, products):
+    dtd, catalog = validation_workload(products)
+    validator = DTDValidator(dtd)
+    assert benchmark(lambda: validator.is_valid(catalog)) is True
+
+
+def test_validator_construction(benchmark):
+    dtd, _ = validation_workload(10)
+    validator = benchmark(lambda: DTDValidator(dtd))
+    assert validator.is_valid(validation_workload(10)[1])
+
+
+@pytest.mark.parametrize("products", [400])
+def test_streaming_child_checks(benchmark, products):
+    dtd, catalog = validation_workload(products)
+    validator = DTDValidator(dtd)
+
+    def run():
+        valid = 0
+        for element in catalog.iter_elements():
+            checker = validator.checker_for(element.name)
+            if checker is None:
+                continue
+            if all(checker.feed(child) for child in element.child_sequence()) and checker.complete():
+                valid += 1
+        return valid
+
+    assert benchmark(run) > 0

@@ -1,0 +1,127 @@
+"""Shared workload construction for the benchmark harness.
+
+Each experiment (see DESIGN.md, Section 3) uses deterministic-by-construction
+expression families from :mod:`repro.regex.generators` plus pre-generated
+member words, built once per parameter value and cached so that the timed
+sections measure only the algorithm under test.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.regex.generators import (
+    bounded_occurrence,
+    chare,
+    deep_alternation,
+    dtd_corpus,
+    mixed_content,
+    numeric_particles,
+    star_free_chain,
+)
+from repro.regex.parse_tree import ParseTree, build_parse_tree
+from repro.regex.words import member_stream, sample_member
+
+#: Seed shared by every workload so benchmark runs are reproducible.
+SEED = 20120521  # PODS 2012, May 21
+
+
+def rng() -> random.Random:
+    return random.Random(SEED)
+
+
+@lru_cache(maxsize=None)
+def mixed_content_tree(symbol_count: int) -> ParseTree:
+    """The (a1+...+am)* family of experiment E1."""
+    return build_parse_tree(mixed_content(symbol_count))
+
+
+@lru_cache(maxsize=None)
+def chare_tree(factor_count: int) -> ParseTree:
+    return build_parse_tree(chare(factor_count))
+
+
+@lru_cache(maxsize=None)
+def dtd_like_trees(count: int) -> tuple[ParseTree, ...]:
+    return tuple(build_parse_tree(expr) for expr in dtd_corpus(rng(), count))
+
+
+@lru_cache(maxsize=None)
+def kore_workload(k: int, word_length: int) -> tuple[ParseTree, tuple[str, ...]]:
+    """A deterministic k-occurrence expression plus a long member word (E3)."""
+    expr = bounded_occurrence(k, blocks=4)
+    tree = build_parse_tree(expr)
+    word = tuple(member_stream(expr, word_length, rng()))
+    return tree, word
+
+
+@lru_cache(maxsize=None)
+def alternation_workload(depth: int, word_length: int) -> tuple[ParseTree, tuple[str, ...]]:
+    """Bounded +/· alternation depth expressions plus member words (E4)."""
+    expr = deep_alternation(depth)
+    tree = build_parse_tree(expr)
+    generator = rng()
+    words: list[str] = []
+    while len(words) < word_length:
+        words.extend(sample_member(expr, generator))
+    # deep_alternation languages are finite; concatenating samples is not a
+    # member word, so E4 matches many short member words instead.
+    return tree, tuple(words[:word_length])
+
+
+@lru_cache(maxsize=None)
+def alternation_words(depth: int, count: int) -> tuple[ParseTree, tuple[tuple[str, ...], ...]]:
+    expr = deep_alternation(depth)
+    tree = build_parse_tree(expr)
+    generator = rng()
+    return tree, tuple(tuple(sample_member(expr, generator)) for _ in range(count))
+
+
+@lru_cache(maxsize=None)
+def large_deterministic_tree(block_count: int) -> tuple[ParseTree, tuple[str, ...]]:
+    """A large deterministic expression with many distinct symbols (E5)."""
+    expr = bounded_occurrence(2, blocks=block_count)
+    tree = build_parse_tree(expr)
+    word = tuple(member_stream(expr, 2000, rng()))
+    return tree, word
+
+
+@lru_cache(maxsize=None)
+def star_free_workload(factor_count: int, word_count: int):
+    """Star-free expression plus a batch of member words (E6)."""
+    expr = star_free_chain(factor_count)
+    tree = build_parse_tree(expr)
+    generator = rng()
+    words = tuple(tuple(sample_member(expr, generator)) for _ in range(word_count))
+    return expr, tree, words
+
+
+@lru_cache(maxsize=None)
+def numeric_workload(block_count: int):
+    """XSD-like particles with counters (E7)."""
+    return numeric_particles(block_count, low=2, high=4)
+
+
+@lru_cache(maxsize=None)
+def validation_workload(product_count: int):
+    """A catalog DTD plus a generated document with *product_count* products (E8)."""
+    from repro.xml import element, parse_dtd
+
+    dtd = parse_dtd(
+        """
+        <!ELEMENT catalog (product+)>
+        <!ELEMENT product (name, price, (description | summary)?, tag*)>
+        <!ELEMENT name (#PCDATA)> <!ELEMENT price (#PCDATA)>
+        <!ELEMENT description (#PCDATA)> <!ELEMENT summary (#PCDATA)> <!ELEMENT tag (#PCDATA)>
+        """
+    )
+    generator = rng()
+    products = []
+    for _ in range(product_count):
+        children = [element("name", text="n"), element("price", text="9")]
+        if generator.random() < 0.5:
+            children.append(element(generator.choice(["description", "summary"])))
+        children.extend(element("tag") for _ in range(generator.randint(0, 3)))
+        products.append(element("product", *children))
+    return dtd, element("catalog", *products)

@@ -1,0 +1,51 @@
+"""Quickstart: determinism checking and matching with the public API.
+
+Reproduces the paper's running examples: e1 = (ab+b(b?)a)* (deterministic),
+e2 = (a*ba+bb)* (not), and the Figure 1 expression e0, then shows matching,
+streaming and the structural summary of an expression.
+
+Run with:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    # --- determinism (Theorem 3.5) -----------------------------------------------
+    e1 = repro.compile("(ab+b(b?)a)*")
+    print(f"e1 = {e1.expression}  ->  {e1.explain()}")
+
+    e2 = repro.compile("(a*ba+bb)*")
+    print(f"e2 = {e2.expression}  ->  {e2.explain()}")
+
+    e0 = repro.compile("(c?((ab*)(a?c)))*(ba)")
+    print(f"e0 = {e0.expression}  ->  {e0.explain()} (matched with {e0.strategy})")
+
+    # --- matching (Section 4) ------------------------------------------------------
+    for word in ["abba", "bba", "", "bb"]:
+        print(f"  e1 matches {word!r:8} : {e1.match(word)}")
+    for word in ["ba", "cabacba", "acacba", "ab"]:
+        print(f"  e0 matches {word!r:10} : {e0.match(word)}")
+
+    # --- streaming: feed one symbol at a time --------------------------------------
+    run = e1.stream()
+    for symbol in "abba":
+        alive = run.feed(symbol)
+        print(f"  fed {symbol!r}: alive={alive}, accepting so far={run.is_accepting()}")
+
+    # --- named symbols (XML element names) -----------------------------------------
+    content_model = repro.compile("title (author | editor)+ year?", dialect="named")
+    print(f"content model deterministic: {content_model.is_deterministic}")
+    print("  [title, author, author]  :", content_model.match(["title", "author", "author"]))
+    print("  [title, year]            :", content_model.match(["title", "year"]))
+
+    # --- numeric occurrence indicators (Section 3.3) ---------------------------------
+    print("(ab){2}a(b+d) deterministic:", repro.is_deterministic("(ab){2}a(b+d)"))
+    print("(ab){1,2}a    deterministic:", repro.is_deterministic("(ab){1,2}a"))
+
+    # --- structural summary ------------------------------------------------------------
+    print("summary of e1:", e1.describe())
+
+
+if __name__ == "__main__":
+    main()

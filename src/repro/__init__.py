@@ -1,0 +1,81 @@
+"""repro — Deterministic Regular Expressions in Linear Time.
+
+A complete reproduction of Groz, Maneth & Staworko, *Deterministic Regular
+Expressions in Linear Time* (PODS 2012): the linear-time determinism test,
+constant-time follow queries, and the four matching algorithms for
+deterministic expressions, together with the XML validation application
+layer, the classical Glushkov/Thompson baselines and the algorithmic
+substrates (LCA, lazy arrays, van Emde Boas trees, lowest colored
+ancestors) everything is built on.
+
+Quick start::
+
+    import repro
+
+    pattern = repro.compile("(ab+b(b?)a)*")   # the paper's e1
+    assert pattern.is_deterministic
+    assert pattern.match("abba")
+
+    report = repro.check_deterministic("(a*ba+bb)*")   # the paper's e2
+    assert not report.deterministic
+    print(report.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of the paper's complexity claims.
+"""
+
+from .api import (
+    Pattern,
+    check_deterministic,
+    check_deterministic_numeric,
+    compile,  # noqa: A004 - mirrors re.compile
+    is_deterministic,
+    is_deterministic_numeric,
+    match,
+)
+from .core.determinism import DeterminismConflict, DeterminismReport
+from .core.follow import FollowIndex
+from .core.numeric import NumericDeterminismReport
+from .errors import (
+    AlphabetError,
+    DTDSyntaxError,
+    InvalidExpressionError,
+    NotDeterministicError,
+    RegexSyntaxError,
+    ReproError,
+    ValidationError,
+    XMLSyntaxError,
+)
+from .matching import build_matcher
+from .regex import Regex, build_parse_tree, parse, parse_word, to_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphabetError",
+    "DTDSyntaxError",
+    "DeterminismConflict",
+    "DeterminismReport",
+    "FollowIndex",
+    "InvalidExpressionError",
+    "NotDeterministicError",
+    "NumericDeterminismReport",
+    "Pattern",
+    "Regex",
+    "RegexSyntaxError",
+    "ReproError",
+    "ValidationError",
+    "XMLSyntaxError",
+    "__version__",
+    "build_matcher",
+    "build_parse_tree",
+    "check_deterministic",
+    "check_deterministic_numeric",
+    "compile",
+    "is_deterministic",
+    "is_deterministic_numeric",
+    "match",
+    "parse",
+    "parse_word",
+    "to_text",
+]

@@ -1,0 +1,195 @@
+"""High-level, user-facing API.
+
+Most downstream users only need three things: *is this content model
+deterministic?*, *does this word match it?*, and *validate this document
+against this schema*.  :class:`Pattern` bundles the whole pipeline —
+parsing, normalisation, the linear-time determinism test and the
+automatically dispatched matcher — behind an interface shaped like the
+standard library's ``re`` module::
+
+    import repro
+
+    pattern = repro.compile("(ab+b(b?)a)*")
+    pattern.is_deterministic        # True
+    pattern.match("abba")           # True
+    pattern.match(["a", "b"])       # words may be symbol lists (XML names)
+
+    repro.is_deterministic("(a*ba+bb)*")              # False
+    repro.check_deterministic("(a*ba+bb)*").describe()  # why not
+
+The lower-level building blocks (parse trees, follow indexes, skeletons,
+individual matchers) remain available from their subpackages for users
+who want to instrument or extend the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .core.determinism import DeterminismReport, check_deterministic
+from .core.numeric import NumericDeterminismReport, check_deterministic_numeric
+from .errors import NotDeterministicError
+from .matching.base import DeterministicMatcher, MatchRun
+from .matching.dispatch import build_matcher
+from .regex.ast import Regex
+from .regex.parse_tree import ParseTree, build_parse_tree
+from .regex.parser import parse, parse_word
+from .regex.properties import classify
+
+
+class Pattern:
+    """A compiled deterministic regular expression.
+
+    Construction parses (if needed), normalises, builds the parse tree and
+    runs the determinism test; the matcher itself is built lazily on first
+    use so that callers who only want the determinism verdict never pay
+    for matcher preprocessing.
+
+    Determinism semantics: for expressions written in the paper's grammar
+    (symbols, concatenation, union, ``?``, ``*``) the verdict comes from
+    the linear-time test of Theorem 3.5.  Expressions using the DTD
+    one-or-more operator ``+`` or XML-Schema numeric bounds ``{i,j}`` are
+    judged with the counter-aware analysis of Section 3.3 instead, because
+    that is the semantics DTD/XSD validators require: rewriting ``E+`` as
+    ``E E*`` preserves the language but can lose determinism when the
+    ``+`` sits under an outer iteration (both copies of a position become
+    reachable), so the rewritten tree — which is what the matchers run on —
+    may be Glushkov-ambiguous even though the content model is fine.  In
+    that case matching falls back to the k-occurrence matcher, whose
+    transition simulation stays correct because the ambiguous candidates
+    are copies of one position with identical continuations.
+    """
+
+    def __init__(
+        self,
+        expr: Regex | str,
+        dialect: str = "paper",
+        strategy: str = "auto",
+    ):
+        if isinstance(expr, str):
+            expr = parse(expr, dialect=dialect)
+        self.expression: Regex = expr
+        self.tree: ParseTree = build_parse_tree(expr)
+        #: verdict of the paper's linear-time test on the normalised (star-only) tree
+        self.tree_report: DeterminismReport = check_deterministic(self.tree)
+        self._needs_native_semantics = _uses_extended_operators(expr)
+        if self._needs_native_semantics:
+            self.report: DeterminismReport | NumericDeterminismReport = (
+                check_deterministic_numeric(expr)
+            )
+        else:
+            self.report = self.tree_report
+        self._strategy = strategy
+        self._matcher: DeterministicMatcher | None = None
+
+    # -- determinism -----------------------------------------------------------------
+    @property
+    def is_deterministic(self) -> bool:
+        """True when the expression is deterministic (one-unambiguous)."""
+        return self.report.deterministic
+
+    def explain(self) -> str:
+        """One-line explanation of the determinism verdict."""
+        return self.report.describe()
+
+    # -- matching ---------------------------------------------------------------------
+    @property
+    def matcher(self) -> DeterministicMatcher:
+        """The (lazily built) matcher; raises if the expression is not deterministic."""
+        if self._matcher is None:
+            if not self.report.deterministic:
+                raise NotDeterministicError(
+                    f"cannot match against a non-deterministic expression: {self.explain()}",
+                    report=self.report,
+                )
+            if self.tree_report.deterministic:
+                self._matcher = build_matcher(self.tree, strategy=self._strategy, verify=False)
+            else:
+                # Deterministic under the native +/counter semantics but not
+                # after the language-preserving rewriting: fall back to the
+                # k-occurrence matcher (see the class docstring).
+                from .matching.kore import KOccurrenceMatcher
+
+                self._matcher = KOccurrenceMatcher(self.tree, verify=False)
+        return self._matcher
+
+    def match(self, word: str | Sequence[str]) -> bool:
+        """True when *word* (a string or a sequence of symbols) is in the language."""
+        return self.matcher.accepts(parse_word(word))
+
+    def match_all(self, words: Iterable[str | Sequence[str]]) -> list[bool]:
+        """Match several words (convenience wrapper around :meth:`match`)."""
+        return [self.match(word) for word in words]
+
+    def stream(self) -> MatchRun:
+        """Begin a streaming match (feed symbols one at a time)."""
+        return self.matcher.start()
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        """Name of the matching algorithm in use (triggers matcher construction)."""
+        return self.matcher.name
+
+    def describe(self) -> dict[str, object]:
+        """Structural summary of the expression (size, classes, determinism)."""
+        summary = classify(self.expression)
+        summary["deterministic"] = self.is_deterministic
+        if self.is_deterministic:
+            summary["strategy"] = self.strategy
+        else:
+            summary["conflict"] = self.explain()
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "deterministic" if self.is_deterministic else "non-deterministic"
+        return f"Pattern({str(self.expression)!r}, {verdict})"
+
+
+def _uses_extended_operators(expr: Regex) -> bool:
+    """True when the AST contains one-or-more or numeric repetition nodes."""
+    from .regex.ast import Plus, Repeat
+
+    return any(isinstance(node, (Plus, Repeat)) for node in expr.iter_nodes())
+
+
+def compile(expr: Regex | str, dialect: str = "paper", strategy: str = "auto") -> Pattern:  # noqa: A001
+    """Compile *expr* into a :class:`Pattern` (mirrors ``re.compile``)."""
+    return Pattern(expr, dialect=dialect, strategy=strategy)
+
+
+def match(expr: Regex | str, word: str | Sequence[str], dialect: str = "paper") -> bool:
+    """One-shot matching: compile *expr* and match *word* against it."""
+    return Pattern(expr, dialect=dialect).match(word)
+
+
+def is_deterministic(expr: Regex | str, dialect: str = "paper") -> bool:
+    """Determinism test on an expression or text.
+
+    Paper-grammar expressions use the linear-time test (Theorem 3.5);
+    expressions with ``+`` or ``{i,j}`` use the counter-aware analysis of
+    Section 3.3 (see :class:`Pattern` for the rationale).
+    """
+    if isinstance(expr, str):
+        expr = parse(expr, dialect=dialect)
+    if _uses_extended_operators(expr):
+        return check_deterministic_numeric(expr).deterministic
+    return check_deterministic(expr).deterministic
+
+
+def is_deterministic_numeric(expr: Regex | str) -> bool:
+    """Counter-aware determinism test for numeric occurrence indicators (Section 3.3)."""
+    return check_deterministic_numeric(expr).deterministic
+
+
+__all__ = [
+    "DeterminismReport",
+    "NumericDeterminismReport",
+    "Pattern",
+    "check_deterministic",
+    "check_deterministic_numeric",
+    "compile",
+    "is_deterministic",
+    "is_deterministic_numeric",
+    "match",
+]

@@ -1,0 +1,16 @@
+"""Finite-automaton baselines: the Glushkov automaton and Thompson's NFA.
+
+These are the classical constructions whose costs the paper's algorithms
+avoid; the library keeps them as baselines for the benchmarks and as
+independent oracles for the test-suite.
+"""
+
+from .glushkov import GlushkovAutomaton, GlushkovConflict, GlushkovDFA
+from .nfa import ThompsonNFA
+
+__all__ = [
+    "GlushkovAutomaton",
+    "GlushkovConflict",
+    "GlushkovDFA",
+    "ThompsonNFA",
+]

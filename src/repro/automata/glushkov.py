@@ -1,0 +1,186 @@
+"""The Glushkov (position) automaton and the classical determinism test.
+
+This is the baseline the paper improves upon:
+
+* the automaton has one state per position plus an initial state, and a
+  transition ``p --a--> q`` whenever ``q ∈ Follow(p)`` and ``lab(q) = a``;
+  its worst-case size is ``Θ(σ|e|)`` (e.g. on mixed content
+  ``(a1+...+am)*``), and building it costs that much;
+* Brüggemann-Klein's theorem: ``e`` is deterministic iff its Glushkov
+  automaton is deterministic, i.e. no state has two outgoing transitions
+  with the same label.  Checking this after construction is the classical
+  ``O(σ|e|)`` determinism test (experiment E1's baseline);
+* for deterministic expressions the automaton *is* a DFA and can be used
+  directly for matching (the baseline matcher of experiments E3–E6).
+
+The implementation deliberately goes through the explicit transition
+relation — that is the very cost the paper's skeleton construction avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import NotDeterministicError
+from ..regex.ast import Regex
+from ..regex.language import LanguageOracle
+from ..regex.parse_tree import ParseTree, TreeNode, build_parse_tree
+
+
+@dataclass(frozen=True, slots=True)
+class GlushkovConflict:
+    """A witness of non-determinism: two equally-labelled followers of one state.
+
+    ``source`` is a position index (or the initial-state sentinel ``#``),
+    ``first``/``second`` are the conflicting follower position indices and
+    ``symbol`` their shared label.
+    """
+
+    source: int
+    first: int
+    second: int
+    symbol: str
+
+
+class GlushkovAutomaton:
+    """Position automaton of an expression, built the classical way."""
+
+    def __init__(self, tree: ParseTree, oracle: LanguageOracle | None = None):
+        self.tree = tree
+        self.oracle = oracle if oracle is not None else LanguageOracle(tree)
+        # The # sentinel position plays the role of the initial state, and a
+        # transition to the $ sentinel encodes acceptance, so the transition
+        # table is simply the Follow relation grouped by label.
+        self._transitions: list[dict[str, list[int]]] = []
+        end_index = tree.end.position_index
+        for position in tree.positions:
+            row: dict[str, list[int]] = {}
+            for q in sorted(self.oracle.follow(position.position_index)):
+                if q == end_index:
+                    continue
+                row.setdefault(tree.positions[q].symbol, []).append(q)
+            self._transitions.append(row)
+        self._accepting = [
+            end_index in self.oracle.follow(position.position_index)
+            for position in tree.positions
+        ]
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def from_expression(cls, expr: Regex | str) -> "GlushkovAutomaton":
+        """Build the automaton of *expr* (AST or paper-dialect text)."""
+        return cls(build_parse_tree(expr))
+
+    # -- basic facts -------------------------------------------------------------
+    @property
+    def initial_state(self) -> int:
+        """The state corresponding to the ``#`` sentinel."""
+        return self.tree.start.position_index
+
+    def states(self) -> range:
+        """All states (position indices, sentinels included)."""
+        return range(len(self.tree.positions))
+
+    def transitions_from(self, state: int) -> dict[str, list[int]]:
+        """Outgoing transitions of *state*, grouped by symbol."""
+        return self._transitions[state]
+
+    def is_accepting(self, state: int) -> bool:
+        """True when *state* is final (the ``$`` sentinel follows it)."""
+        return self._accepting[state]
+
+    def transition_count(self) -> int:
+        """Total number of transitions — the ``O(σ|e|)`` quantity of the paper."""
+        return sum(len(targets) for row in self._transitions for targets in row.values())
+
+    def state_count(self) -> int:
+        """Number of states (positions of the expression, sentinels included)."""
+        return len(self._transitions)
+
+    # -- determinism (Brüggemann-Klein) --------------------------------------------
+    def determinism_conflict(self) -> GlushkovConflict | None:
+        """Return a witness of non-determinism, or ``None`` if deterministic."""
+        for state, row in enumerate(self._transitions):
+            for symbol, targets in row.items():
+                if len(targets) > 1:
+                    return GlushkovConflict(state, targets[0], targets[1], symbol)
+        return None
+
+    def is_deterministic(self) -> bool:
+        """Brüggemann-Klein's test: no state has two same-labelled successors."""
+        return self.determinism_conflict() is None
+
+    # -- matching -----------------------------------------------------------------
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Subset-simulation membership test (works for any expression)."""
+        current: set[int] = {self.initial_state}
+        for symbol in word:
+            following: set[int] = set()
+            for state in current:
+                following.update(self._transitions[state].get(symbol, ()))
+            if not following:
+                return False
+            current = following
+        return any(self._accepting[state] for state in current)
+
+
+class GlushkovDFA:
+    """Deterministic matcher backed by the Glushkov automaton.
+
+    Only available for deterministic expressions (raises
+    :class:`~repro.errors.NotDeterministicError` otherwise).  Matching a
+    word is a single pointer-chase per symbol; the cost of this matcher is
+    entirely in its ``O(σ|e|)`` construction, which is what the paper's
+    matchers avoid.
+    """
+
+    def __init__(self, automaton: GlushkovAutomaton):
+        conflict = automaton.determinism_conflict()
+        if conflict is not None:
+            raise NotDeterministicError(
+                "cannot build a DFA from a non-deterministic expression", report=conflict
+            )
+        self.automaton = automaton
+        self._delta: list[dict[str, int]] = [
+            {symbol: targets[0] for symbol, targets in row.items()}
+            for row in automaton._transitions
+        ]
+        self._accepting = automaton._accepting
+
+    @classmethod
+    def from_expression(cls, expr: Regex | str) -> "GlushkovDFA":
+        """Build a DFA matcher for *expr* (AST or paper-dialect text)."""
+        return cls(GlushkovAutomaton.from_expression(expr))
+
+    @property
+    def tree(self) -> ParseTree:
+        """The parse tree the DFA was built from."""
+        return self.automaton.tree
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """True when *word* belongs to the language."""
+        state = self.automaton.initial_state
+        delta = self._delta
+        for symbol in word:
+            next_state = delta[state].get(symbol)
+            if next_state is None:
+                return False
+            state = next_state
+        return self._accepting[state]
+
+    def run(self, word: Iterable[str]) -> list[int]:
+        """Return the visited positions (for debugging and tests)."""
+        state = self.automaton.initial_state
+        trace = [state]
+        for symbol in word:
+            next_state = self._delta[state].get(symbol)
+            if next_state is None:
+                return trace
+            state = next_state
+            trace.append(state)
+        return trace
+
+    def position_of(self, state: int) -> TreeNode:
+        """The parse-tree position corresponding to a DFA state."""
+        return self.automaton.tree.positions[state]

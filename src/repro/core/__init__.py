@@ -1,0 +1,30 @@
+"""The paper's core contribution: linear-time determinism machinery.
+
+* :mod:`repro.core.follow` — constant-time follow queries (Theorem 2.4),
+* :mod:`repro.core.skeleton` — colors, witnesses and a-skeleta (Section 3.1),
+* :mod:`repro.core.determinism` — the linear-time determinism test (Theorem 3.5),
+* :mod:`repro.core.numeric` — determinism with numeric occurrence indicators (Section 3.3),
+* :mod:`repro.core.xpath_check` — the Regular-XPath alternative test (Theorem 3.6).
+"""
+
+from .determinism import (
+    DeterminismChecker,
+    DeterminismConflict,
+    DeterminismReport,
+    check_deterministic,
+    is_deterministic,
+)
+from .follow import FollowIndex
+from .skeleton import SkeletonIndex, SkeletonNode, SymbolSkeleton
+
+__all__ = [
+    "DeterminismChecker",
+    "DeterminismConflict",
+    "DeterminismReport",
+    "FollowIndex",
+    "SkeletonIndex",
+    "SkeletonNode",
+    "SymbolSkeleton",
+    "check_deterministic",
+    "is_deterministic",
+]

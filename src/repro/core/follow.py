@@ -1,0 +1,109 @@
+"""Constant-time follow queries (Theorem 2.4).
+
+After O(|e|) preprocessing — the LCA index plus the ``pSupFirst``,
+``pSupLast`` and ``pStar`` pointers already carried by the parse tree —
+the question *"does position q follow position p?"* is answered in O(1)
+by combining Lemma 2.2 (a position follows another either through the
+concatenation at their LCA or through the lowest star above it) with
+Lemma 2.3 (membership in First/Last sets reduces to ancestor tests on the
+``pSupFirst``/``pSupLast`` pointers).
+
+The index also exposes the two Lemma 2.3 membership tests directly
+(:meth:`FollowIndex.in_first`, :meth:`FollowIndex.in_last`) because the
+matchers of Section 4 use them on internal nodes, and the two "ways of
+following" separately (:meth:`follows_via_concat`,
+:meth:`follows_via_star`) because the star-free matcher only needs the
+concatenation case.
+"""
+
+from __future__ import annotations
+
+from ..regex.parse_tree import NodeKind, ParseTree, TreeNode
+from ..structures.lca import LCAIndex
+
+
+class FollowIndex:
+    """O(1) ``checkIfFollow`` and First/Last membership for one parse tree."""
+
+    __slots__ = ("tree", "_lca")
+
+    def __init__(self, tree: ParseTree):
+        self.tree = tree
+        self._lca = LCAIndex(tree.root, tree.nodes)
+
+    # -- basic tree queries -------------------------------------------------------
+    def lca(self, a: TreeNode, b: TreeNode) -> TreeNode:
+        """Lowest common ancestor of two nodes, O(1)."""
+        return self._lca.lca(a, b)
+
+    # -- Lemma 2.3 -----------------------------------------------------------------
+    def in_first(self, node: TreeNode, position: TreeNode) -> bool:
+        """``position ∈ First(node)`` — Lemma 2.3(1).
+
+        ``pSupFirst(p) ≼ n ≼ p``; a position with no SupFirst ancestor (only
+        the ``#`` sentinel) belongs to the First set of all its ancestors.
+        """
+        if not node.is_ancestor_of(position):
+            return False
+        boundary = position.p_sup_first
+        return boundary is None or boundary.is_ancestor_of(node)
+
+    def in_last(self, node: TreeNode, position: TreeNode) -> bool:
+        """``position ∈ Last(node)`` — Lemma 2.3(2)."""
+        if not node.is_ancestor_of(position):
+            return False
+        boundary = position.p_sup_last
+        return boundary is None or boundary.is_ancestor_of(node)
+
+    # -- Lemma 2.2 / Theorem 2.4 -----------------------------------------------------
+    def follows_via_concat(self, p: TreeNode, q: TreeNode) -> bool:
+        """Case (1) of Lemma 2.2: q follows p through the concatenation at their LCA."""
+        meeting = self._lca.lca(p, q)
+        if meeting.kind is not NodeKind.CONCAT:
+            return False
+        return self.in_last(meeting.left, p) and self.in_first(meeting.right, q)
+
+    def follows_via_star(self, p: TreeNode, q: TreeNode) -> bool:
+        """Case (2) of Lemma 2.2: q follows p through the lowest iteration above their LCA."""
+        meeting = self._lca.lca(p, q)
+        loop = meeting.p_star
+        if loop is None:
+            return False
+        return self.in_last(loop, p) and self.in_first(loop, q)
+
+    def follows(self, p: TreeNode, q: TreeNode) -> bool:
+        """``checkIfFollow(p, q)`` of Theorem 2.4, in O(1).
+
+        ``p`` and ``q`` must be positions of the tree; ``q`` may be the
+        ``$`` sentinel (this is how matchers test acceptance) and ``p`` may
+        be the ``#`` sentinel (this is how matching starts).
+        """
+        meeting = self._lca.lca(p, q)
+        if (
+            meeting.kind is NodeKind.CONCAT
+            and self.in_last(meeting.left, p)
+            and self.in_first(meeting.right, q)
+        ):
+            return True
+        loop = meeting.p_star
+        if loop is None:
+            return False
+        return self.in_last(loop, p) and self.in_first(loop, q)
+
+    def follows_maybe(self, p: TreeNode, q: TreeNode | None) -> bool:
+        """Like :meth:`follows` but tolerating ``q is None`` (returns False).
+
+        The matchers probe candidate positions that may be absent
+        (``h(x, a)`` of Algorithm 3, ``Next(n, a)`` of the skeletons); this
+        wrapper keeps their code close to the paper's pseudocode.
+        """
+        return q is not None and self.follows(p, q)
+
+    # -- acceptance helper --------------------------------------------------------------
+    def accepts_at(self, position: TreeNode) -> bool:
+        """True when the expression may end right after *position*.
+
+        This is ``$ ∈ Follow(position)``; with ``position`` being the ``#``
+        sentinel it answers whether the empty word is accepted.
+        """
+        return self.follows(position, self.tree.end)

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy mirrors the main
+stages of the pipeline: parsing text syntax, building/normalising parse
+trees, checking determinism, matching words, and validating XML documents.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a textual expression cannot be parsed.
+
+    Attributes
+    ----------
+    text:
+        The input text being parsed.
+    position:
+        Offset (0-based) in ``text`` where the error was detected, or
+        ``None`` when the error is not tied to a single offset.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is None:
+            return base
+        return f"{base} (at offset {self.position} in {self.text!r})"
+
+
+class InvalidExpressionError(ReproError):
+    """Raised when an AST or parse tree violates a structural requirement.
+
+    Examples: numeric repetitions with ``low > high``, empty unions, or an
+    attempt to run a paper algorithm on a tree that has not been normalised
+    to satisfy restrictions (R1)-(R3).
+    """
+
+
+class NotDeterministicError(ReproError):
+    """Raised when an operation requires a deterministic expression.
+
+    The deterministic matchers of Section 4 are only correct on
+    deterministic (one-unambiguous) expressions; constructing one of them
+    from a non-deterministic expression raises this error, carrying the
+    diagnostic report explaining the conflict.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class AlphabetError(ReproError):
+    """Raised when a word contains a symbol outside the expression alphabet.
+
+    Matchers treat unknown symbols as an immediate mismatch by default; the
+    strict APIs raise this error instead so schema authors can distinguish
+    "wrong order" from "unknown element".
+    """
+
+
+class ValidationError(ReproError):
+    """Raised for structural problems while validating an XML document."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the minimal XML parser on malformed input."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.line is None:
+            return base
+        return f"{base} (line {self.line}, column {self.column})"
+
+
+class DTDSyntaxError(ReproError):
+    """Raised when a DTD declaration or content model cannot be parsed."""

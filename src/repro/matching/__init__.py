@@ -1,0 +1,31 @@
+"""Matching algorithms for deterministic regular expressions (Section 4).
+
+Every matcher implements the same transition-simulation interface
+(:class:`~repro.matching.base.DeterministicMatcher`) and is therefore
+streamable; :func:`~repro.matching.dispatch.build_matcher` picks the
+appropriate algorithm for an expression automatically.
+"""
+
+from .automaton import GlushkovMatcher
+from .base import DeterministicMatcher, MatchRun
+from .climbing import ClimbingMatcher
+from .dispatch import STRATEGIES, build_matcher, select_strategy
+from .kore import KOccurrenceMatcher, SubsetKOccurrenceMatcher
+from .lca_matcher import LowestColoredAncestorMatcher
+from .path_decomposition import PathDecompositionMatcher
+from .star_free import StarFreeMultiMatcher
+
+__all__ = [
+    "ClimbingMatcher",
+    "DeterministicMatcher",
+    "GlushkovMatcher",
+    "KOccurrenceMatcher",
+    "LowestColoredAncestorMatcher",
+    "MatchRun",
+    "PathDecompositionMatcher",
+    "STRATEGIES",
+    "StarFreeMultiMatcher",
+    "SubsetKOccurrenceMatcher",
+    "build_matcher",
+    "select_strategy",
+]

@@ -1,0 +1,152 @@
+"""The star-free multi-word matcher (Section 4.4, Theorem 4.12).
+
+For star-free deterministic expressions, ``N`` words can be matched
+simultaneously in ``O(|e| + |w_1| + ... + |w_N|)``: the expression is
+traversed *once* in position order, and every word advances whenever the
+traversal reaches the position it is waiting to read.
+
+The paper maintains, for every symbol ``a``, a *dynamic a-skeleton*: the
+set of positions at which some word currently waits for an ``a``, closed
+under LCAs, with insertions always happening to the right of previous
+ones.  Our implementation exploits exactly that insertion order: because
+words only ever advance to the position currently being scanned, the
+per-symbol store receives positions in pre-order, so the "all stored
+positions inside the subtree of ``parent(pSupFirst(p))``" extraction that
+the paper performs by climbing the skeleton is simply a *suffix* of a
+per-symbol stack.  Each popped entry either
+
+* advances (the scanned position follows it through the concatenation at
+  their LCA — in star-free expressions Lemma 2.2's star case cannot fire),
+* is dead (the LCA is a concatenation but the entry is not in the Last set
+  of its left child, hence no later position can follow it either), or
+* is retained (the LCA is a union node: the paper's skeleton climb never
+  descends into union branches, so these entries must stay; property (P1)
+  bounds how often a retained entry can be re-examined for a fixed
+  symbol).
+
+The deviation from the paper's explicit skeleton data structure — and why
+it preserves the linear behaviour on the star-free workloads measured in
+experiment E6 — is discussed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.determinism import DeterminismChecker
+from ..core.follow import FollowIndex
+from ..errors import NotDeterministicError
+from ..regex.ast import Regex
+from ..regex.parse_tree import NodeKind, ParseTree, TreeNode, build_parse_tree
+from ..regex.properties import is_star_free
+
+
+class _WaitingEntry:
+    """Words waiting at one position for one symbol."""
+
+    __slots__ = ("position", "word_ids")
+
+    def __init__(self, position: TreeNode, word_ids: list[int]):
+        self.position = position
+        self.word_ids = word_ids
+
+
+class StarFreeMultiMatcher:
+    """Theorem 4.12: batch matching against a star-free deterministic expression."""
+
+    name = "star-free-multi"
+
+    def __init__(self, expr: Regex | ParseTree | str, verify: bool = True):
+        self.tree = expr if isinstance(expr, ParseTree) else build_parse_tree(expr)
+        if any(node.is_iteration for node in self.tree.nodes):
+            raise ValueError("StarFreeMultiMatcher requires a star-free expression")
+        self.follow = FollowIndex(self.tree)
+        if verify:
+            report = DeterminismChecker(self.tree, self.follow).report()
+            if not report.deterministic:
+                raise NotDeterministicError(
+                    f"StarFreeMultiMatcher requires a deterministic expression: {report.describe()}",
+                    report=report,
+                )
+        #: number of entries examined during the last match_all call (instrumentation)
+        self.examined_entries = 0
+
+    # ------------------------------------------------------------------------------
+    def match_all(self, words: Sequence[Sequence[str]]) -> list[bool]:
+        """Return, for every word, whether it belongs to the language.
+
+        All words are matched during a single scan of the expression's
+        positions in document order.
+        """
+        follow = self.follow
+        tree = self.tree
+        results = [False] * len(words)
+        # Index of the next symbol each word expects.
+        cursors = [0] * len(words)
+        # Position at which each fully-consumed word stopped (None = not finished).
+        finished_at: list[TreeNode | None] = [None] * len(words)
+        # Per-symbol stacks of waiting entries, kept sorted by pre-order of position.
+        waiting: dict[str, list[_WaitingEntry]] = {}
+        self.examined_entries = 0
+
+        start = tree.start
+        empty_accepts = follow.accepts_at(start)
+        initial: dict[str, list[int]] = {}
+        for word_id, word in enumerate(words):
+            if len(word) == 0:
+                results[word_id] = empty_accepts
+            else:
+                initial.setdefault(word[0], []).append(word_id)
+        for symbol, word_ids in initial.items():
+            waiting[symbol] = [_WaitingEntry(start, word_ids)]
+
+        for scanned in tree.positions[1:-1]:  # every position of e', in document order
+            stack = waiting.get(scanned.symbol)
+            if not stack:
+                continue
+            boundary = scanned.p_sup_first.parent if scanned.p_sup_first is not None else None
+            if boundary is None:
+                continue
+            advanced: list[int] = []
+            retained: list[_WaitingEntry] = []
+            # Entries whose position lies inside the subtree of `boundary` form
+            # a suffix of the stack (insertions happen in pre-order).
+            while stack and stack[-1].position.pre >= boundary.pre:
+                entry = stack.pop()
+                self.examined_entries += 1
+                if follow.follows_via_concat(entry.position, scanned):
+                    advanced.extend(entry.word_ids)
+                    continue
+                meeting = follow.lca(entry.position, scanned)
+                if meeting.kind is NodeKind.CONCAT:
+                    # Not in Last(Lchild(meeting)): no later position can follow
+                    # this entry either — it is dead and simply dropped.
+                    continue
+                retained.append(entry)
+            # Retained entries keep their original (pre-order) relative order.
+            stack.extend(reversed(retained))
+
+            if not advanced:
+                continue
+            newly_waiting: list[int] = []
+            for word_id in advanced:
+                cursors[word_id] += 1
+                word = words[word_id]
+                if cursors[word_id] >= len(word):
+                    finished_at[word_id] = scanned
+                else:
+                    newly_waiting.append(word_id)
+            by_symbol: dict[str, list[int]] = {}
+            for word_id in newly_waiting:
+                by_symbol.setdefault(words[word_id][cursors[word_id]], []).append(word_id)
+            for symbol, word_ids in by_symbol.items():
+                waiting.setdefault(symbol, []).append(_WaitingEntry(scanned, word_ids))
+
+        for word_id, stopped_at in enumerate(finished_at):
+            if stopped_at is not None:
+                results[word_id] = follow.accepts_at(stopped_at)
+        return results
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Single-word convenience wrapper around :meth:`match_all`."""
+        return self.match_all([list(word)])[0]

@@ -1,0 +1,91 @@
+"""Regular-expression substrate: ASTs, parsing, parse trees and workloads.
+
+The subpackage is self-contained: it knows nothing about the paper's
+linear-time algorithms (those live in :mod:`repro.core` and
+:mod:`repro.matching`), it only provides the expression representations
+and the classical set-based machinery used as baselines and oracles.
+"""
+
+from .alphabet import Alphabet, END_SENTINEL, START_SENTINEL, SENTINELS
+from .ast import (
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    Union,
+    UNBOUNDED,
+    concat,
+    literal,
+    optional,
+    plus,
+    repeat,
+    star,
+    sym,
+    syms,
+    union,
+)
+from .language import LanguageOracle
+from .normalize import normalize
+from .parse_tree import NodeKind, ParseTree, TreeNode, build_parse_tree, tree_from_text
+from .parser import parse, parse_word
+from .printer import to_text
+from .properties import (
+    alternation_depth,
+    classify,
+    is_chare,
+    is_k_occurrence,
+    is_one_ore,
+    is_simple,
+    is_star_free,
+    occurrence_bound,
+    plus_depth_refined,
+)
+
+__all__ = [
+    "Alphabet",
+    "Concat",
+    "Epsilon",
+    "END_SENTINEL",
+    "LanguageOracle",
+    "NodeKind",
+    "Optional",
+    "ParseTree",
+    "Plus",
+    "Regex",
+    "Repeat",
+    "SENTINELS",
+    "START_SENTINEL",
+    "Star",
+    "Sym",
+    "TreeNode",
+    "UNBOUNDED",
+    "Union",
+    "alternation_depth",
+    "build_parse_tree",
+    "classify",
+    "concat",
+    "is_chare",
+    "is_k_occurrence",
+    "is_one_ore",
+    "is_simple",
+    "is_star_free",
+    "literal",
+    "normalize",
+    "occurrence_bound",
+    "optional",
+    "parse",
+    "parse_word",
+    "plus",
+    "plus_depth_refined",
+    "repeat",
+    "star",
+    "sym",
+    "syms",
+    "to_text",
+    "tree_from_text",
+    "union",
+]

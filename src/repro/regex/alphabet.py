@@ -1,0 +1,98 @@
+"""Symbols, sentinels and alphabets.
+
+The paper works over a finite alphabet Sigma and requires (restriction R1)
+that every expression is implicitly wrapped as ``(# e) $`` where ``#`` and
+``$`` are fresh sentinel symbols that do not occur in ``e``.  This module
+centralises the representation of symbols and of the two sentinels so the
+rest of the library never has to guess whether a string is a user symbol
+or a sentinel.
+
+Symbols are plain strings (XML element names, attribute names, or single
+characters); the sentinels are module-level constants chosen outside the
+printable range so they cannot collide with user symbols parsed from text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Sentinel marking the virtual start position (the ``#`` of the paper).
+START_SENTINEL = "#"
+
+#: Sentinel marking the virtual end position (the ``$`` of the paper).
+END_SENTINEL = "$"
+
+#: Both sentinels, in the order (start, end).
+SENTINELS = (START_SENTINEL, END_SENTINEL)
+
+
+def is_sentinel(symbol: str) -> bool:
+    """Return True when *symbol* is one of the two R1 sentinels."""
+    return symbol == START_SENTINEL or symbol == END_SENTINEL
+
+
+def pretty_symbol(symbol: str) -> str:
+    """Human readable rendering of a symbol (sentinels become # / $)."""
+    if symbol == START_SENTINEL:
+        return "#"
+    if symbol == END_SENTINEL:
+        return "$"
+    return symbol
+
+
+class Alphabet:
+    """An ordered set of symbols with dense integer codes.
+
+    Several algorithms (the Glushkov baseline, the lowest colored ancestor
+    structure, lazy arrays) want symbols as small integers.  ``Alphabet``
+    assigns codes in first-seen order and supports lookups in both
+    directions.
+
+    The class is intentionally tiny; it behaves like a frozen mapping once
+    built but also supports incremental construction via :meth:`add`.
+    """
+
+    __slots__ = ("_codes", "_symbols")
+
+    def __init__(self, symbols: Iterable[str] = ()):  # noqa: D401 - simple init
+        self._codes: dict[str, int] = {}
+        self._symbols: list[str] = []
+        for symbol in symbols:
+            self.add(symbol)
+
+    def add(self, symbol: str) -> int:
+        """Insert *symbol* (idempotent) and return its code."""
+        code = self._codes.get(symbol)
+        if code is None:
+            code = len(self._symbols)
+            self._codes[symbol] = code
+            self._symbols.append(symbol)
+        return code
+
+    def code(self, symbol: str) -> int:
+        """Return the code of *symbol*, raising ``KeyError`` if absent."""
+        return self._codes[symbol]
+
+    def get(self, symbol: str, default: int | None = None) -> int | None:
+        """Return the code of *symbol* or *default* when absent."""
+        return self._codes.get(symbol, default)
+
+    def symbol(self, code: int) -> str:
+        """Return the symbol with integer *code*."""
+        return self._symbols[code]
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._codes
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self):
+        return iter(self._symbols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Alphabet({self._symbols!r})"
+
+    def as_list(self) -> list[str]:
+        """Return the symbols as a list, in code order."""
+        return list(self._symbols)

@@ -1,0 +1,316 @@
+"""Expression families used as workloads by tests and benchmarks.
+
+Two kinds of generators are provided:
+
+* deterministic-by-construction families with a tunable size parameter —
+  these are the benchmark workloads (each matches one of the structural
+  classes the paper's theorems are parameterised by);
+* random expression generators (arbitrary and rejection-sampled
+  deterministic ones) — these drive the differential and property-based
+  tests.
+
+Symbols are generated as ``a0, a1, ...`` (or user-supplied prefixes) so
+that alphabets of arbitrary size can be produced; the paper's point that
+the Glushkov construction is quadratic *because* alphabets are large makes
+this essential for experiment E1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from .ast import (
+    Concat,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    Union,
+    concat,
+    optional,
+    star,
+    sym,
+    union,
+)
+from .language import LanguageOracle
+from .parse_tree import build_parse_tree
+
+
+def _names(count: int, prefix: str = "a") -> list[str]:
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic-by-construction families (benchmark workloads)
+# ---------------------------------------------------------------------------
+
+def mixed_content(symbol_count: int, prefix: str = "a") -> Regex:
+    """The paper's motivating family ``E = (a1 + a2 + ... + am)*``.
+
+    This is the shape of XML "mixed content"; the Glushkov automaton of
+    ``E`` has ``Θ(m^2)`` transitions while determinism is obvious, which is
+    exactly the gap experiment E1 measures.
+    """
+    if symbol_count < 1:
+        raise ValueError("mixed_content requires at least one symbol")
+    return star(union(*[sym(name) for name in _names(symbol_count, prefix)]))
+
+
+def chare(factor_count: int, symbols_per_factor: int = 3, rng: random.Random | None = None) -> Regex:
+    """A chain regular expression with *factor_count* factors.
+
+    Each factor is ``(a + b + c)`` over fresh symbols, decorated with one of
+    nothing, ``?``, ``*`` or ``+`` (chosen round-robin or randomly).  CHAREs
+    cover ~90% of real-world content models (related-work section).
+    """
+    decorations: list[Callable[[Regex], Regex]] = [
+        lambda e: e,
+        optional,
+        star,
+        lambda e: Plus(e),
+    ]
+    factors: list[Regex] = []
+    counter = 0
+    for index in range(factor_count):
+        names = [f"f{index}x{j}" for j in range(symbols_per_factor)]
+        body = union(*[sym(name) for name in names])
+        if rng is None:
+            decorate = decorations[counter % len(decorations)]
+            counter += 1
+        else:
+            decorate = rng.choice(decorations)
+        factors.append(decorate(body))
+    return concat(*factors)
+
+
+def deep_alternation(depth: int) -> Regex:
+    """Deterministic expressions whose +/· alternation depth grows with *depth*.
+
+    ``g_0 = x0`` and ``g_{i+1} = (a_i (g_i)?) + b_i``.  All symbols are
+    distinct so the result is a 1-ORE (hence deterministic), while each
+    level adds one union-over-concatenation alternation — the family that
+    stresses Theorem 4.10's dependence on ``c_e``.
+    """
+    expr: Regex = sym("x0")
+    for level in range(depth):
+        expr = union(Concat(sym(f"a{level}"), optional(expr)), sym(f"b{level}"))
+    return expr
+
+
+def bounded_occurrence(k: int, blocks: int) -> Regex:
+    """Deterministic k-occurrence expressions (Theorem 4.3 workload).
+
+    Each block reuses its block symbol ``s_j`` exactly *k* times, separated
+    by fresh delimiter symbols so that no position ever has two
+    equally-labelled followers.  The whole expression is a concatenation of
+    *blocks* such blocks wrapped in a star, giving arbitrarily long member
+    words.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    parts: list[Regex] = []
+    for j in range(blocks):
+        shared = f"s{j}"
+        pieces: list[Regex] = []
+        for copy in range(k):
+            delimiter = f"d{j}x{copy}"
+            pieces.append(Concat(sym(shared), sym(delimiter)))
+        parts.append(concat(*pieces))
+    return star(concat(*parts))
+
+
+def star_free_chain(factor_count: int) -> Regex:
+    """Star-free deterministic expressions (Theorem 4.12 workload).
+
+    A concatenation of factors ``(a_i + b_i) c_i?`` over fresh symbols:
+    star-free, deterministic (1-ORE) and with member words of length
+    Θ(*factor_count*).
+    """
+    factors: list[Regex] = []
+    for index in range(factor_count):
+        choice = union(sym(f"a{index}"), sym(f"b{index}"))
+        factors.append(Concat(choice, optional(sym(f"c{index}"))))
+    return concat(*factors)
+
+
+def paper_example_e0() -> Regex:
+    """Figure 1's expression ``e0 = (c?((ab*)(a?c)))*(ba)``."""
+    from .parser import parse
+
+    return parse("(c?((ab*)(a?c)))*(ba)")
+
+
+def paper_example_e1() -> Regex:
+    """Example 2.1's deterministic expression ``e1 = (ab + b(b?)a)*``."""
+    from .parser import parse
+
+    return parse("(ab+b(b?)a)*")
+
+
+def paper_example_e2() -> Regex:
+    """Example 2.1's non-deterministic expression ``e2 = (a*ba + bb)*``."""
+    from .parser import parse
+
+    return parse("(a*ba+bb)*")
+
+
+def numeric_particles(block_count: int, low: int = 2, high: int = 4) -> Regex:
+    """XSD-style particles with numeric occurrence indicators (Section 3.3).
+
+    Concatenation of blocks ``(a_j b_j){low,high}`` over fresh symbols —
+    deterministic with counters, used by experiment E7.
+    """
+    parts = [
+        Repeat(Concat(sym(f"a{j}"), sym(f"b{j}")), low, high) for j in range(block_count)
+    ]
+    return concat(*parts)
+
+
+# ---------------------------------------------------------------------------
+# DTD-like content models (substitute for the Grijzenhout corpus)
+# ---------------------------------------------------------------------------
+
+def dtd_like(rng: random.Random, element_names: Sequence[str] | None = None) -> Regex:
+    """One random content model with the shape reported for real DTDs.
+
+    Roughly 90% of generated models are CHAREs, most of the remainder are
+    "simple" expressions, and a small tail has deeper nesting (but
+    alternation depth at most 4, matching the paper's observation about
+    Grijzenhout's corpus).
+    """
+    names = list(element_names) if element_names else _names(rng.randint(3, 12), "el")
+    rng.shuffle(names)
+    roll = rng.random()
+    if roll < 0.9:
+        return _dtd_chare(rng, names)
+    if roll < 0.97:
+        return _dtd_simple(rng, names)
+    return _dtd_nested(rng, names)
+
+
+def dtd_corpus(rng: random.Random, count: int) -> list[Regex]:
+    """A list of *count* random DTD-like content models."""
+    return [dtd_like(rng) for _ in range(count)]
+
+
+def _decorate(rng: random.Random, expr: Regex) -> Regex:
+    roll = rng.random()
+    if roll < 0.35:
+        return expr
+    if roll < 0.6:
+        return optional(expr)
+    if roll < 0.85:
+        return star(expr)
+    return Plus(expr)
+
+
+def _dtd_chare(rng: random.Random, names: list[str]) -> Regex:
+    factors: list[Regex] = []
+    index = 0
+    while index < len(names):
+        width = min(rng.randint(1, 3), len(names) - index)
+        body = union(*[sym(name) for name in names[index:index + width]])
+        factors.append(_decorate(rng, body))
+        index += width
+    return concat(*factors)
+
+
+def _dtd_simple(rng: random.Random, names: list[str]) -> Regex:
+    factors: list[Regex] = []
+    index = 0
+    while index < len(names):
+        width = min(rng.randint(1, 3), len(names) - index)
+        branch = [
+            _decorate(rng, sym(name)) if rng.random() < 0.4 else sym(name)
+            for name in names[index:index + width]
+        ]
+        factors.append(_decorate(rng, union(*branch)))
+        index += width
+    return concat(*factors)
+
+
+def _dtd_nested(rng: random.Random, names: list[str]) -> Regex:
+    if len(names) == 1:
+        return _decorate(rng, sym(names[0]))
+    middle = max(1, len(names) // 2)
+    left = _dtd_chare(rng, names[:middle])
+    right = _dtd_chare(rng, names[middle:])
+    combiner = Union if rng.random() < 0.5 else Concat
+    return _decorate(rng, combiner(left, right))
+
+
+# ---------------------------------------------------------------------------
+# Random expressions (test workloads)
+# ---------------------------------------------------------------------------
+
+def random_expression(
+    rng: random.Random,
+    leaf_count: int,
+    alphabet: Sequence[str] = ("a", "b", "c", "d"),
+    star_probability: float = 0.25,
+    optional_probability: float = 0.2,
+    union_probability: float = 0.45,
+) -> Regex:
+    """A random expression with *leaf_count* positions over *alphabet*.
+
+    No determinism guarantee — used to exercise the parser, the oracle and
+    the determinism checks on both classes of inputs.
+    """
+    if leaf_count < 1:
+        raise ValueError("leaf_count must be >= 1")
+    leaves: list[Regex] = [sym(rng.choice(list(alphabet))) for _ in range(leaf_count)]
+    while len(leaves) > 1:
+        index = rng.randrange(len(leaves) - 1)
+        left = leaves.pop(index)
+        right = leaves.pop(index)
+        node: Regex = Union(left, right) if rng.random() < union_probability else Concat(left, right)
+        leaves.insert(index, _random_decorate(rng, node, star_probability, optional_probability))
+    return _random_decorate(rng, leaves[0], star_probability, optional_probability)
+
+
+def _random_decorate(
+    rng: random.Random, expr: Regex, star_probability: float, optional_probability: float
+) -> Regex:
+    roll = rng.random()
+    if roll < star_probability:
+        return Star(expr) if rng.random() < 0.7 else Plus(expr)
+    if roll < star_probability + optional_probability and not expr.nullable():
+        return Optional(expr)
+    return expr
+
+
+def random_deterministic_expression(
+    rng: random.Random,
+    leaf_count: int,
+    alphabet: Sequence[str] = ("a", "b", "c", "d"),
+    max_attempts: int = 500,
+) -> Regex:
+    """Rejection-sample a deterministic expression with ~*leaf_count* positions.
+
+    Falls back to distinct symbols (guaranteed 1-ORE) when rejection
+    sampling fails, so the function always returns a deterministic
+    expression.
+    """
+    for _ in range(max_attempts):
+        candidate = random_expression(rng, leaf_count, alphabet)
+        oracle = LanguageOracle(build_parse_tree(candidate))
+        if oracle.is_deterministic():
+            return candidate
+    return random_one_ore(rng, leaf_count)
+
+
+def random_one_ore(rng: random.Random, leaf_count: int, prefix: str = "u") -> Regex:
+    """A random single-occurrence expression (always deterministic)."""
+    names = _names(leaf_count, prefix)
+    rng.shuffle(names)
+    leaves: list[Regex] = [sym(name) for name in names]
+    while len(leaves) > 1:
+        index = rng.randrange(len(leaves) - 1)
+        left = leaves.pop(index)
+        right = leaves.pop(index)
+        node: Regex = Union(left, right) if rng.random() < 0.4 else Concat(left, right)
+        leaves.insert(index, _random_decorate(rng, node, 0.2, 0.2))
+    return leaves[0]

@@ -1,0 +1,185 @@
+"""Set-based First/Last/Follow computation and language membership.
+
+This module is the library's *oracle*: a direct, transparent
+implementation of the classical syntax-directed equations for
+``First(n)``, ``Last(n)`` and ``Follow(p)`` (Glushkov / Berry-Sethi
+style), plus membership testing by simulating the position automaton.
+
+Its worst-case cost is ``O(σ|e|)`` (the very bound the paper improves
+upon), which makes it both the natural baseline for the benchmarks and
+the ground truth against which the linear-time structures of
+:mod:`repro.core` are differential-tested.
+
+All functions operate on the R1-wrapped :class:`~repro.regex.parse_tree.ParseTree`
+so that the sentinel positions behave exactly as in the paper: every
+first position of the user expression follows ``#`` and the ``$``
+position follows every last position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .parse_tree import NodeKind, ParseTree, TreeNode
+
+
+class LanguageOracle:
+    """First/Last/Follow sets and membership for a parse tree.
+
+    Position sets are represented as Python ``frozenset`` of position
+    indices (the left-to-right numbering of :attr:`ParseTree.positions`).
+    """
+
+    def __init__(self, tree: ParseTree):
+        self.tree = tree
+        self._first: list[frozenset[int]] = [frozenset()] * len(tree.nodes)
+        self._last: list[frozenset[int]] = [frozenset()] * len(tree.nodes)
+        self._follow: list[set[int]] = [set() for _ in tree.positions]
+        self._compute_first_last()
+        self._compute_follow()
+
+    # -- construction -------------------------------------------------------
+    def _compute_first_last(self) -> None:
+        first = self._first
+        last = self._last
+        for node in reversed(self.tree.nodes):  # children before parents
+            kind = node.kind
+            if kind is NodeKind.SYMBOL:
+                singleton = frozenset((node.position_index,))
+                first[node.index] = singleton
+                last[node.index] = singleton
+            elif kind is NodeKind.CONCAT:
+                left, right = node.left, node.right
+                if left.nullable:
+                    first[node.index] = first[left.index] | first[right.index]
+                else:
+                    first[node.index] = first[left.index]
+                if right.nullable:
+                    last[node.index] = last[left.index] | last[right.index]
+                else:
+                    last[node.index] = last[right.index]
+            elif kind is NodeKind.UNION:
+                first[node.index] = first[node.left.index] | first[node.right.index]
+                last[node.index] = last[node.left.index] | last[node.right.index]
+            else:  # STAR, PLUS, OPTIONAL — unary, same First/Last as the child
+                first[node.index] = first[node.left.index]
+                last[node.index] = last[node.left.index]
+
+    def _compute_follow(self) -> None:
+        follow = self._follow
+        for node in self.tree.nodes:
+            if node.kind is NodeKind.CONCAT:
+                firsts = self._first[node.right.index]
+                for p in self._last[node.left.index]:
+                    follow[p].update(firsts)
+            elif node.is_iteration:
+                firsts = self._first[node.index]
+                for p in self._last[node.index]:
+                    follow[p].update(firsts)
+        self._follow = [frozenset(s) for s in follow]  # type: ignore[assignment]
+
+    # -- queries ------------------------------------------------------------
+    def first(self, node: TreeNode | None = None) -> frozenset[int]:
+        """``First(n)`` as a set of position indices (default: the inner root)."""
+        node = node if node is not None else self.tree.root
+        return self._first[node.index]
+
+    def last(self, node: TreeNode | None = None) -> frozenset[int]:
+        """``Last(n)`` as a set of position indices (default: the inner root)."""
+        node = node if node is not None else self.tree.root
+        return self._last[node.index]
+
+    def follow(self, position: TreeNode | int) -> frozenset[int]:
+        """``Follow(p)`` as a set of position indices."""
+        index = position if isinstance(position, int) else position.position_index
+        return self._follow[index]
+
+    def follows(self, p: TreeNode | int, q: TreeNode | int) -> bool:
+        """True when position *q* follows position *p* (the oracle's checkIfFollow)."""
+        q_index = q if isinstance(q, int) else q.position_index
+        return q_index in self.follow(p)
+
+    def follow_by_symbol(self, position: TreeNode | int) -> dict[str, list[int]]:
+        """Group ``Follow(p)`` by the label of the following position."""
+        grouped: dict[str, list[int]] = {}
+        for q in sorted(self.follow(position)):
+            grouped.setdefault(self.tree.positions[q].symbol, []).append(q)
+        return grouped
+
+    # -- determinism (baseline definition) -----------------------------------
+    def is_deterministic(self) -> bool:
+        """Direct application of the paper's definition of determinism.
+
+        ``e`` is deterministic iff no position has two distinct followers
+        with the same label.  With the R1 wrapping this single condition
+        also covers clashes between first positions (they all follow ``#``).
+        """
+        return self.first_conflict() is None
+
+    def first_conflict(self) -> tuple[int, int, int] | None:
+        """Return a witness ``(p, q, q')`` of non-determinism, or ``None``.
+
+        ``q`` and ``q'`` are distinct, equally-labelled positions that both
+        follow ``p``; positions are reported as indices.
+        """
+        positions = self.tree.positions
+        for p in range(len(positions)):
+            seen: dict[str, int] = {}
+            for q in sorted(self.follow(p)):
+                label = positions[q].symbol
+                other = seen.get(label)
+                if other is not None:
+                    return (p, other, q)
+                seen[label] = q
+        return None
+
+    # -- membership ----------------------------------------------------------
+    def initial_state(self) -> frozenset[int]:
+        """The start state of the position automaton: the ``#`` sentinel."""
+        return frozenset((self.tree.start.position_index,))
+
+    def step(self, state: Iterable[int], symbol: str) -> frozenset[int]:
+        """One subset-simulation step of the position automaton."""
+        positions = self.tree.positions
+        next_state: set[int] = set()
+        for p in state:
+            for q in self.follow(p):
+                if positions[q].symbol == symbol:
+                    next_state.add(q)
+        return frozenset(next_state)
+
+    def is_accepting(self, state: Iterable[int]) -> bool:
+        """True when the end sentinel follows some position of *state*."""
+        end = self.tree.end.position_index
+        return any(end in self.follow(p) for p in state)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership test ``word ∈ L(e)`` by subset simulation.
+
+        Works for deterministic and non-deterministic expressions alike;
+        cost is O(|w| · k · σ-ish) and is only meant as ground truth.
+        """
+        state = self.initial_state()
+        for symbol in word:
+            state = self.step(state, symbol)
+            if not state:
+                return False
+        return self.is_accepting(state)
+
+
+def first_positions(tree: ParseTree, node: TreeNode | None = None) -> list[TreeNode]:
+    """Convenience: ``First(n)`` as a list of position nodes."""
+    oracle = LanguageOracle(tree)
+    return [tree.positions[i] for i in sorted(oracle.first(node))]
+
+
+def last_positions(tree: ParseTree, node: TreeNode | None = None) -> list[TreeNode]:
+    """Convenience: ``Last(n)`` as a list of position nodes."""
+    oracle = LanguageOracle(tree)
+    return [tree.positions[i] for i in sorted(oracle.last(node))]
+
+
+def follow_positions(tree: ParseTree, position: TreeNode) -> list[TreeNode]:
+    """Convenience: ``Follow(p)`` as a list of position nodes."""
+    oracle = LanguageOracle(tree)
+    return [tree.positions[i] for i in sorted(oracle.follow(position))]

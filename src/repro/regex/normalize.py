@@ -1,0 +1,199 @@
+"""Normalisation of ASTs to the form required by the paper.
+
+Section 2 of the paper imposes three restrictions on expressions before
+any algorithm runs:
+
+(R1) the expression is wrapped as ``(# e') $`` with fresh sentinels;
+(R2) no directly nested unbounded iterations ``((e)*)*``;
+(R3) ``(e)?`` only appears when ``e`` is not nullable.
+
+(R1) is applied when the pointer-based parse tree is built
+(:mod:`repro.regex.parse_tree`); this module implements the language
+preserving rewriting needed for (R2)/(R3), removes ``Epsilon`` nodes and
+expands numeric occurrence indicators.  Together these guarantee that the
+size of the resulting tree is linear in its number of positions, which is
+what the linear-time claims of the paper are measured against.
+
+The rewriting is purely structural and language-preserving.  Note that
+expansion of numeric repetitions preserves the *language* but not the
+Section 3.3 notion of determinism with counters: ``(ab){2,2}a(b+d)`` is
+counter-deterministic yet its expansion has duplicated positions.  The
+dedicated analysis in :mod:`repro.core.numeric` works on the unexpanded
+AST for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Concat,
+    ensure_recursion_capacity,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    Union,
+    UNBOUNDED,
+    concat,
+)
+
+
+def normalize(expr: Regex, expand_numeric: bool = True) -> Regex:
+    """Return an equivalent AST satisfying (R2) and (R3) with no Epsilon nodes.
+
+    The result may be :class:`Epsilon` itself when ``L(expr) == {ε}``.
+    When *expand_numeric* is true, numeric ``Repeat`` nodes are rewritten
+    into concatenations of copies (language-preserving); otherwise they are
+    normalised recursively but kept in place.
+    """
+    ensure_recursion_capacity(expr)
+    return _normalize(expr, expand_numeric)
+
+
+def _normalize(expr: Regex, expand_numeric: bool) -> Regex:
+    if isinstance(expr, (Sym, Epsilon)):
+        return expr
+
+    if isinstance(expr, Concat):
+        left = _normalize(expr.left, expand_numeric)
+        right = _normalize(expr.right, expand_numeric)
+        if isinstance(left, Epsilon):
+            return right
+        if isinstance(right, Epsilon):
+            return left
+        return Concat(left, right)
+
+    if isinstance(expr, Union):
+        left = _normalize(expr.left, expand_numeric)
+        right = _normalize(expr.right, expand_numeric)
+        if isinstance(left, Epsilon) and isinstance(right, Epsilon):
+            return Epsilon()
+        if isinstance(left, Epsilon):
+            return _make_optional(right)
+        if isinstance(right, Epsilon):
+            return _make_optional(left)
+        return Union(left, right)
+
+    if isinstance(expr, (Star, Plus, Optional)):
+        # Peel directly nested iteration/option wrappers *before* normalising
+        # the body, so that e.g. (x+)* becomes x* rather than (x x*)*: the
+        # one-or-more rewriting below would otherwise duplicate positions that
+        # an outer star/option makes redundant.
+        kind = type(expr)
+        child = expr.children()[0]
+        while isinstance(child, (Star, Plus, Optional)):
+            if isinstance(child, (Star, Optional)) and kind is Plus:
+                kind = Star  # (x*)+ and (x?)+ denote x*
+            if isinstance(child, (Star, Plus)) and kind is Optional:
+                kind = Star  # (x*)? and (x+)? denote x*
+            child = child.children()[0]
+        body = _normalize(child, expand_numeric)
+        if kind is Star:
+            return _make_star(body)
+        if kind is Plus:
+            return _make_plus(body)
+        return _make_optional(body)
+
+    if isinstance(expr, Repeat):
+        child = _normalize(expr.child, expand_numeric)
+        if not expand_numeric:
+            if isinstance(child, Epsilon):
+                return Epsilon()
+            return Repeat(child, expr.low, expr.high)
+        return _expand_repeat(child, expr.low, expr.high, expand_numeric)
+
+    raise TypeError(f"unknown AST node: {expr!r}")
+
+
+def _make_star(child: Regex) -> Regex:
+    """Build ``child*`` respecting (R2): collapse nested iterations."""
+    if isinstance(child, Epsilon):
+        return Epsilon()
+    if isinstance(child, (Star, Plus, Optional)):
+        # (x*)* = (x+)* = (x?)* = x*
+        return _make_star(child.children()[0])
+    return Star(child)
+
+
+def _make_plus(child: Regex) -> Regex:
+    """Build ``child+`` respecting (R2), desugared to ``child child*``.
+
+    The paper's grammar has no one-or-more operator, and its Section 3
+    case analysis silently relies on every iteration node being nullable
+    (a star).  A non-nullable iteration node below a colored node would
+    let ``FirstPos`` and ``Witness`` clash through a loop the ``pStar``
+    pointer of Theorem 3.5(ii) cannot see.  Rewriting ``E+`` as ``E E*``
+    therefore keeps the algorithms exactly as published.  For the
+    non-nullable bodies that survive normalisation the rewriting also
+    preserves determinism: a conflict in ``E E*`` involving the two copies
+    of one position would need some ``q ∈ First(E)`` to follow some
+    ``p ∈ Last(E)`` *inside* ``E``, which forces ``E`` to be nullable —
+    see tests/unit/test_normalize.py for the executable version of this
+    argument.
+    """
+    if isinstance(child, Epsilon):
+        return Epsilon()
+    if isinstance(child, (Star, Optional)):
+        # (x*)+ = (x?)+ = x*
+        return _make_star(child.children()[0])
+    if isinstance(child, Plus):
+        # (x+)+ = x+
+        return _make_plus(child.child)
+    if child.nullable():
+        # E nullable makes E+ and E* the same language.
+        return _make_star(child)
+    return Concat(child, Star(child))
+
+
+def _make_optional(child: Regex) -> Regex:
+    """Build ``child?`` respecting (R3): drop the ``?`` on nullable bodies."""
+    if isinstance(child, Epsilon):
+        return Epsilon()
+    if isinstance(child, Plus):
+        # (x+)? = x*
+        return _make_star(child.child)
+    if child.nullable():
+        return child
+    return Optional(child)
+
+
+def _expand_repeat(child: Regex, low: int, high: int | None, expand_numeric: bool) -> Regex:
+    """Expand ``child{low,high}`` into stars, options and copies.
+
+    The expansion follows the usual identities::
+
+        x{0,0}   = ε            x{0,None} = x*
+        x{1,1}   = x            x{1,None} = x+
+        x{i,None}= x^(i-1) x+   x{i,j}    = x^i (x (x (... )?)?)?   (j-i optional copies)
+
+    Every copy of *child* is the same normalised AST object; positions are
+    duplicated when the pointer tree is built, which is exactly what the
+    language-level expansion requires.
+    """
+    if isinstance(child, Epsilon):
+        return Epsilon()
+    if high is UNBOUNDED:
+        if low == 0:
+            return _make_star(child)
+        if low == 1:
+            return _make_plus(child)
+        prefix = concat(*([child] * (low - 1)))
+        return Concat(prefix, _make_plus(child)) if low > 1 else _make_plus(child)
+    if high == 0:
+        return Epsilon()
+    required = [child] * low
+    optional_count = high - low
+    tail: Regex | None = None
+    for _ in range(optional_count):
+        if tail is None:
+            tail = _make_optional(child)
+        else:
+            tail = _make_optional(Concat(child, tail))
+    if not required:
+        return tail if tail is not None else Epsilon()
+    body = concat(*required)
+    if tail is None:
+        return body
+    return Concat(body, tail)

@@ -1,0 +1,132 @@
+"""Rendering ASTs back to text.
+
+Two styles are supported, mirroring the two parser dialects:
+
+* ``"paper"`` — the notation used throughout the PODS paper: single
+  character symbols juxtaposed for concatenation and ``+`` for union,
+  e.g. ``(ab+b(b?)a)*``.  Only available when every symbol is a single
+  character and no one-or-more (``Plus``) node occurs, because the paper
+  has no postfix ``+`` operator.
+* ``"named"`` — symbols are identifiers, concatenation is a space, union
+  is ``|`` and one-or-more is the postfix ``+``; numeric repetitions are
+  rendered ``{i,j}``.  Every AST can be rendered in this style and parsed
+  back to a structurally identical tree.
+
+``dialect="auto"`` (the default used by ``str(regex)``) picks the paper
+style when it is applicable and the named style otherwise.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    Union,
+    UNBOUNDED,
+)
+
+# Precedence levels used to decide where parentheses are needed.
+_LEVEL_UNION = 0
+_LEVEL_CONCAT = 1
+_LEVEL_POSTFIX = 2
+_LEVEL_ATOM = 3
+
+#: Rendering of the empty word; both parsers accept it.
+EPSILON_TEXT = "()"
+
+
+def paper_style_applicable(expr: Regex) -> bool:
+    """True when *expr* can be rendered in the compact paper notation."""
+    for node in expr.iter_nodes():
+        if isinstance(node, Plus):
+            return False
+        if isinstance(node, Sym) and len(node.symbol) != 1:
+            return False
+    return True
+
+
+def to_text(expr: Regex, dialect: str = "auto") -> str:
+    """Render *expr* as text in the requested *dialect*.
+
+    ``dialect`` is one of ``"auto"``, ``"paper"`` or ``"named"``.
+    """
+    if dialect == "auto":
+        dialect = "paper" if paper_style_applicable(expr) else "named"
+    if dialect == "paper":
+        return _render(expr, _LEVEL_UNION, paper=True)
+    if dialect == "named":
+        return _render(expr, _LEVEL_UNION, paper=False)
+    raise ValueError(f"unknown printer dialect: {dialect!r}")
+
+
+def _postfix_suffix(node: Regex) -> str:
+    """Return the postfix operator string for a unary repetition node."""
+    if isinstance(node, Star):
+        return "*"
+    if isinstance(node, Plus):
+        return "+"
+    if isinstance(node, Optional):
+        return "?"
+    if isinstance(node, Repeat):
+        if node.high is UNBOUNDED:
+            return f"{{{node.low},}}"
+        if node.low == node.high:
+            return f"{{{node.low}}}"
+        return f"{{{node.low},{node.high}}}"
+    raise TypeError(f"not a postfix node: {node!r}")
+
+
+def _render(node: Regex, level: int, paper: bool) -> str:
+    """Render *node*, parenthesising when its precedence is below *level*."""
+    if isinstance(node, Epsilon):
+        return EPSILON_TEXT
+    if isinstance(node, Sym):
+        return node.symbol
+
+    if isinstance(node, Union):
+        operator = "+" if paper else "|"
+        # The right operand may be another Union without parentheses (the
+        # parser folds unions to the right); a Union on the left must be
+        # parenthesised to round-trip the exact tree shape.
+        left = _render(node.left, _LEVEL_UNION + 1, paper)
+        right = (
+            _render(node.right, _LEVEL_UNION, paper)
+            if isinstance(node.right, Union)
+            else _render(node.right, _LEVEL_UNION + 1, paper)
+        )
+        text = f"{left}{operator}{right}" if paper else f"{left} {operator} {right}"
+        return _wrap(text, _LEVEL_UNION, level)
+
+    if isinstance(node, Concat):
+        left = _render(node.left, _LEVEL_CONCAT + 1, paper)
+        right = (
+            _render(node.right, _LEVEL_CONCAT, paper)
+            if isinstance(node.right, Concat)
+            else _render(node.right, _LEVEL_CONCAT + 1, paper)
+        )
+        text = f"{left}{right}" if paper else f"{left} {right}"
+        return _wrap(text, _LEVEL_CONCAT, level)
+
+    if isinstance(node, (Star, Plus, Optional, Repeat)):
+        child = node.children()[0]
+        body = _render(child, _LEVEL_POSTFIX, paper)
+        # Chained postfix operators such as (e*)? need parentheses so the
+        # operators re-attach to the intended sub-expression.
+        if isinstance(child, (Star, Plus, Optional, Repeat)):
+            body = f"({body})"
+        return _wrap(body + _postfix_suffix(node), _LEVEL_POSTFIX, level)
+
+    raise TypeError(f"unknown AST node: {node!r}")
+
+
+def _wrap(text: str, node_level: int, context_level: int) -> str:
+    """Parenthesise *text* when its precedence is too low for the context."""
+    if node_level < context_level:
+        return f"({text})"
+    return text

@@ -1,0 +1,247 @@
+"""Structural classifiers of regular expressions.
+
+The paper's matching algorithms are parameterised by structural classes of
+expressions; this module computes the corresponding measures on either an
+AST or a parse tree:
+
+* :func:`is_star_free` — no unbounded iteration (Theorem 4.12's class);
+* :func:`occurrence_bound` — the ``k`` of k-occurrence expressions
+  (Theorem 4.3, Bex et al.'s k-ORE);
+* :func:`alternation_depth` — the ``c_e`` of Theorem 4.10: the maximal
+  number of alternations between union and concatenation labels on a
+  root-to-leaf path of the parse tree;
+* :func:`plus_depth_refined` — the tighter bound mentioned after
+  Lemma 4.9: the maximal number of ancestors of a position that are
+  union-labelled, non-nullable and have a concatenation-labelled parent;
+* :func:`is_one_ore`, :func:`is_chare`, :func:`is_simple` — the classes
+  from the DTD-inference literature discussed in the related-work section
+  (1-ORE, CHARE, simple regular expressions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .ast import Concat, Epsilon, Optional, Plus, Regex, Repeat, Star, Sym, Union, UNBOUNDED
+from .parse_tree import NodeKind, ParseTree, TreeNode, build_parse_tree
+
+
+def _as_tree(expr: Regex | ParseTree | str) -> ParseTree:
+    if isinstance(expr, ParseTree):
+        return expr
+    return build_parse_tree(expr)
+
+
+# ---------------------------------------------------------------------------
+# Simple counts
+# ---------------------------------------------------------------------------
+
+def symbol_occurrences(expr: Regex | ParseTree | str) -> Counter:
+    """Count, for each user symbol, how many positions carry it."""
+    if isinstance(expr, Regex):
+        return Counter(expr.positions())
+    tree = _as_tree(expr)
+    return Counter(symbol for symbol in (p.symbol for p in tree.positions)
+                   if symbol not in ("#", "$"))
+
+
+def occurrence_bound(expr: Regex | ParseTree | str) -> int:
+    """The smallest ``k`` such that the expression is a k-ORE (0 for no symbols)."""
+    counts = symbol_occurrences(expr)
+    return max(counts.values(), default=0)
+
+
+def is_k_occurrence(expr: Regex | ParseTree | str, k: int) -> bool:
+    """True when no symbol occurs more than *k* times."""
+    return occurrence_bound(expr) <= k
+
+
+def is_one_ore(expr: Regex | ParseTree | str) -> bool:
+    """True for single-occurrence expressions (1-ORE): no symbol repeats.
+
+    1-OREs are always deterministic (each symbol has a unique position, so
+    two distinct followers can never share a label).
+    """
+    return occurrence_bound(expr) <= 1
+
+
+def is_star_free(expr: Regex | ParseTree | str) -> bool:
+    """True when the expression contains no unbounded iteration."""
+    if isinstance(expr, Regex):
+        return expr.is_star_free()
+    tree = _as_tree(expr)
+    return not any(node.is_iteration for node in tree.nodes)
+
+
+# ---------------------------------------------------------------------------
+# Alternation depth (the c_e of Theorem 4.10)
+# ---------------------------------------------------------------------------
+
+def alternation_depth(expr: Regex | ParseTree | str) -> int:
+    """Maximal depth of alternating union/concatenation labels.
+
+    For every root-to-leaf path of the (unwrapped) parse tree we consider
+    the sequence of labels restricted to union and concatenation nodes and
+    count its maximal blocks of equal labels; ``c_e`` is the maximum over
+    all paths.  Real-world DTDs have ``c_e ≤ 4`` (Grijzenhout's corpus, as
+    reported in the paper).
+    """
+    tree = _as_tree(expr)
+    if tree.inner_root is None:
+        return 0
+    best = 0
+    # (node, last label seen in {union, concat}, number of blocks so far)
+    stack: list[tuple[TreeNode, NodeKind | None, int]] = [(tree.inner_root, None, 0)]
+    while stack:
+        node, last, blocks = stack.pop()
+        if node.kind in (NodeKind.UNION, NodeKind.CONCAT) and node.kind is not last:
+            last = node.kind
+            blocks += 1
+        best = max(best, blocks)
+        for child in node.children():
+            stack.append((child, last, blocks))
+    return best
+
+
+def plus_depth_refined(expr: Regex | ParseTree | str) -> int:
+    """The tighter constant mentioned after Lemma 4.9.
+
+    Maximal, over positions ``p``, number of ancestors of ``p`` that are
+    union-labelled, non-nullable, and whose parent is concatenation-labelled.
+    This is the quantity that actually bounds the amortised cost of
+    ``FindNext``.
+    """
+    tree = _as_tree(expr)
+    best = 0
+    for position in tree.positions:
+        count = 0
+        node = position.parent
+        while node is not None:
+            if (
+                node.kind is NodeKind.UNION
+                and not node.nullable
+                and node.parent is not None
+                and node.parent.kind is NodeKind.CONCAT
+            ):
+                count += 1
+            node = node.parent
+        best = max(best, count)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Classes from the DTD-inference literature (related work section)
+# ---------------------------------------------------------------------------
+
+def is_chare(expr: Regex) -> bool:
+    """True for chain regular expressions (CHARE).
+
+    A CHARE is a concatenation of factors, each factor being a disjunction
+    of *distinct symbols* ``(a1 + ... + an)`` optionally followed by ``*``
+    or ``?`` (or ``+``, the DTD one-or-more), where no symbol occurs more
+    than once in the whole expression.
+    """
+    if not is_one_ore(expr):
+        return False
+    for factor in _concat_factors(expr):
+        if not _is_chare_factor(factor):
+            return False
+    return True
+
+
+def is_simple(expr: Regex) -> bool:
+    """True for simple regular expressions (Bex, Neven, Van den Bussche).
+
+    Like CHAREs, but inside a factor each symbol may itself carry ``*`` or
+    ``?``, and symbols may occur more than once in the expression.
+    """
+    for factor in _concat_factors(expr):
+        if not _is_simple_factor(factor):
+            return False
+    return True
+
+
+def _concat_factors(expr: Regex) -> list[Regex]:
+    """Flatten a top-level concatenation into its factors."""
+    factors: list[Regex] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Concat):
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            factors.append(node)
+    return factors
+
+
+def _strip_factor_decoration(factor: Regex) -> Regex:
+    """Remove one outer ``*``, ``?`` or ``+`` from a factor."""
+    if isinstance(factor, (Star, Optional, Plus)):
+        return factor.children()[0]
+    if isinstance(factor, Repeat):
+        return factor.child
+    return factor
+
+
+def _union_branches(expr: Regex) -> list[Regex]:
+    branches: list[Regex] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Union):
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            branches.append(node)
+    return branches
+
+
+def _is_chare_factor(factor: Regex) -> bool:
+    body = _strip_factor_decoration(factor)
+    branches = _union_branches(body)
+    symbols = []
+    for branch in branches:
+        if not isinstance(branch, Sym):
+            return False
+        symbols.append(branch.symbol)
+    return len(symbols) == len(set(symbols))
+
+
+def _is_simple_factor(factor: Regex) -> bool:
+    body = _strip_factor_decoration(factor)
+    for branch in _union_branches(body):
+        inner = _strip_factor_decoration(branch)
+        if not isinstance(inner, Sym):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Summary
+# ---------------------------------------------------------------------------
+
+def classify(expr: Regex | str) -> dict[str, object]:
+    """Return a dictionary summarising every structural measure of *expr*.
+
+    Used by the examples and by the benchmark harness to label workloads.
+    """
+    if isinstance(expr, str):
+        from .parser import parse
+
+        expr = parse(expr)
+    tree = build_parse_tree(expr)
+    return {
+        "size": tree.size,
+        "positions": tree.num_positions - 2,
+        "alphabet_size": len(tree.alphabet),
+        "occurrence_bound": occurrence_bound(tree),
+        "one_ore": is_one_ore(tree),
+        "chare": is_chare(expr),
+        "simple": is_simple(expr),
+        "star_free": is_star_free(expr),
+        "alternation_depth": alternation_depth(tree),
+        "plus_depth_refined": plus_depth_refined(tree),
+        "has_numeric": expr.has_numeric_occurrences(),
+        "depth": tree.depth(),
+    }

@@ -1,0 +1,120 @@
+"""Heavy-path decomposition of a rooted tree.
+
+A heavy-path decomposition partitions the nodes of a tree into vertical
+paths such that every root-to-node path intersects O(log n) of them: each
+internal node picks the child with the largest subtree as its *heavy*
+child; maximal chains of heavy edges form the paths.
+
+The decomposition is used by the lowest colored ancestor structure
+(:mod:`repro.structures.colored_ancestor`): a query walks the O(log n)
+heavy paths above a node and performs one predecessor query per path.
+The paper mentions that Hagenah & Muscholl's earlier construction is also
+based on a heavy-path decomposition of the parse tree, so the structure
+doubles as a faithful piece of the related-work machinery.
+
+Like :class:`~repro.structures.lca.LCAIndex`, the implementation is
+generic over nodes exposing ``children()`` and a dense integer ``index``.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Sequence, TypeVar
+
+N = TypeVar("N")
+
+
+class HeavyPathDecomposition(Generic[N]):
+    """Heavy-path decomposition with O(1) path lookup per node.
+
+    Attributes
+    ----------
+    path_of:
+        ``path_of[node.index]`` is the id of the heavy path containing the
+        node.
+    depth_in_path:
+        Depth of the node within its path (0 for the path head).
+    path_heads:
+        For each path id, the topmost (shallowest) node of the path.
+    paths:
+        For each path id, the list of its nodes from head to foot.
+    """
+
+    __slots__ = ("root", "_nodes", "path_of", "depth_in_path", "path_heads", "paths", "depth")
+
+    def __init__(self, root: N, nodes: Sequence[N]):
+        self.root = root
+        self._nodes = nodes
+        size = [1] * len(nodes)
+        order = self._preorder(root)
+        # Subtree sizes bottom-up.
+        for node in reversed(order):
+            for child in node.children():
+                size[node.index] += size[child.index]
+
+        self.path_of = [-1] * len(nodes)
+        self.depth_in_path = [0] * len(nodes)
+        self.depth = [0] * len(nodes)
+        self.path_heads: list[N] = []
+        self.paths: list[list[N]] = []
+
+        # Walk top-down: the heavy child continues the parent's path, every
+        # other child starts a new path.
+        stack: list[tuple[N, int, int]] = [(root, self._new_path(root), 0)]
+        while stack:
+            node, path_id, node_depth = stack.pop()
+            self.path_of[node.index] = path_id
+            self.depth[node.index] = node_depth
+            self.depth_in_path[node.index] = len(self.paths[path_id])
+            self.paths[path_id].append(node)
+            children = list(node.children())
+            if not children:
+                continue
+            heavy = max(children, key=lambda child: size[child.index])
+            for child in children:
+                if child is heavy:
+                    stack.append((child, path_id, node_depth + 1))
+                else:
+                    stack.append((child, self._new_path(child), node_depth + 1))
+
+    def _new_path(self, head: N) -> int:
+        path_id = len(self.paths)
+        self.paths.append([])
+        self.path_heads.append(head)
+        return path_id
+
+    @staticmethod
+    def _preorder(root: N) -> list[N]:
+        order: list[N] = []
+        stack: list[N] = [root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(node.children()))
+        return order
+
+    # -- queries --------------------------------------------------------------
+    def path_id(self, node: N) -> int:
+        """Id of the heavy path containing *node*."""
+        return self.path_of[node.index]
+
+    def head(self, node: N) -> N:
+        """Topmost node of the heavy path containing *node*."""
+        return self.path_heads[self.path_of[node.index]]
+
+    def path_count(self) -> int:
+        """Number of heavy paths in the decomposition."""
+        return len(self.paths)
+
+    def paths_to_root(self, node: N) -> list[int]:
+        """Ids of the heavy paths met while walking from *node* to the root.
+
+        The length of this list is O(log n); the lowest colored ancestor
+        query performs one predecessor lookup per returned path.
+        """
+        ids: list[int] = []
+        current: N | None = node
+        while current is not None:
+            path_id = self.path_of[current.index]
+            ids.append(path_id)
+            current = getattr(self.path_heads[path_id], "parent", None)
+        return ids

@@ -1,0 +1,87 @@
+"""Constant-time lowest common ancestor queries.
+
+Theorem 2.4 of the paper needs LCA queries in O(1) after linear-time
+preprocessing of the parse tree (citing Harel & Tarjan / Bender &
+Farach-Colton).  This module implements the Euler-tour + RMQ reduction:
+
+* walk the tree once, recording the Euler tour (node visited every time
+  the traversal enters or returns to it) and each node's depth;
+* an LCA query becomes a range-minimum query on the depth array between
+  the first occurrences of the two nodes.
+
+The structure is generic over any tree exposing ``children()`` and an
+integer ``index`` attribute (as :class:`repro.regex.parse_tree.TreeNode`
+does), so it is reused by the skeleton builder and by test trees.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Protocol, Sequence, TypeVar
+
+from .rmq import SparseTableRMQ
+
+
+class _TreeLike(Protocol):
+    index: int
+
+    def children(self) -> Sequence["_TreeLike"]:  # pragma: no cover - protocol
+        ...
+
+
+N = TypeVar("N", bound=_TreeLike)
+
+
+class LCAIndex(Generic[N]):
+    """Euler tour + sparse-table RMQ giving O(1) LCA on a fixed tree.
+
+    ``nodes`` must contain every node of the tree and ``nodes[i].index``
+    must equal ``i`` (the convention used by :class:`ParseTree`); the tree
+    is rooted at ``root``.
+    """
+
+    __slots__ = ("root", "_nodes", "_first_occurrence", "_tour", "_rmq")
+
+    def __init__(self, root: N, nodes: Sequence[N]):
+        self.root = root
+        self._nodes = nodes
+        tour: list[int] = []
+        depths: list[int] = []
+        first: list[int] = [-1] * len(nodes)
+
+        # Iterative Euler tour: each frame is (node, depth, next-child cursor).
+        stack: list[tuple[N, int, int]] = [(root, 0, 0)]
+        while stack:
+            node, depth, cursor = stack.pop()
+            if first[node.index] < 0:
+                first[node.index] = len(tour)
+            tour.append(node.index)
+            depths.append(depth)
+            children = node.children()
+            if cursor < len(children):
+                stack.append((node, depth, cursor + 1))
+                stack.append((children[cursor], depth + 1, 0))
+
+        self._tour = tour
+        self._first_occurrence = first
+        self._rmq = SparseTableRMQ(depths)
+
+    def lca(self, a: N, b: N) -> N:
+        """Return the lowest common ancestor of *a* and *b*."""
+        ia = self._first_occurrence[a.index]
+        ib = self._first_occurrence[b.index]
+        if ia < 0 or ib < 0:
+            raise KeyError("node does not belong to the indexed tree")
+        lo, hi = (ia, ib) if ia <= ib else (ib, ia)
+        winner = self._rmq.argmin(lo, hi + 1)
+        return self._nodes[self._tour[winner]]
+
+    def is_ancestor(self, ancestor: N, node: N) -> bool:
+        """Reflexive ancestor test expressed through LCA (used in tests)."""
+        return self.lca(ancestor, node) is ancestor
+
+    def depth_of(self, node: N) -> int:
+        """Depth of *node* (root has depth 0)."""
+        return self._rmq.values[self._first_occurrence[node.index]]
+
+    def __len__(self) -> int:
+        return len(self._nodes)

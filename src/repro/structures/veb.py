@@ -1,0 +1,221 @@
+"""van Emde Boas trees: predecessor/successor queries in O(log log U).
+
+The lowest colored ancestor structure cited by the paper (Muthukrishnan &
+Müller, SODA'96) achieves its ``O(log log n)`` query time through van Emde
+Boas style predecessor search.  This module implements a standard
+recursive vEB tree over a universe ``{0..U-1}``:
+
+* ``insert`` / ``delete`` / ``contains`` in ``O(log log U)``,
+* ``predecessor(x)`` — greatest element ``<= x`` (``None`` if none),
+* ``successor(x)`` — smallest element ``>= x`` (``None`` if none),
+* ``min`` / ``max`` in ``O(1)``.
+
+Clusters are materialised lazily in a dictionary so the memory footprint
+is proportional to the number of stored keys rather than to the universe,
+which matters when one structure is built per (heavy path, color) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class VanEmdeBoasTree:
+    """Integer set over ``{0..universe-1}`` with O(log log U) operations."""
+
+    __slots__ = ("universe", "_shift", "_low_mask", "_min", "_max", "_summary", "_clusters")
+
+    _BASE_UNIVERSE = 2
+
+    def __init__(self, universe: int):
+        if universe < 2:
+            universe = 2
+        self.universe = universe
+        half_bits = (max(universe - 1, 1).bit_length() + 1) // 2
+        self._shift = half_bits
+        self._low_mask = (1 << half_bits) - 1
+        self._min: int | None = None
+        self._max: int | None = None
+        self._summary: VanEmdeBoasTree | None = None
+        self._clusters: dict[int, VanEmdeBoasTree] = {}
+
+    # -- helpers ---------------------------------------------------------------
+    def _high(self, x: int) -> int:
+        return x >> self._shift
+
+    def _low(self, x: int) -> int:
+        return x & self._low_mask
+
+    def _compose(self, high: int, low: int) -> int:
+        return (high << self._shift) | low
+
+    def _is_leaf(self) -> bool:
+        return self.universe <= self._BASE_UNIVERSE
+
+    def _cluster_universe(self) -> int:
+        return self._low_mask + 1
+
+    def _summary_universe(self) -> int:
+        return (self.universe >> self._shift) + 1
+
+    def _check(self, x: int) -> None:
+        if not 0 <= x < self.universe:
+            raise IndexError(f"key {x} outside universe [0, {self.universe})")
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def min(self) -> int | None:
+        """Smallest stored key, or ``None`` when empty."""
+        return self._min
+
+    @property
+    def max(self) -> int | None:
+        """Largest stored key, or ``None`` when empty."""
+        return self._max
+
+    def __bool__(self) -> bool:
+        return self._min is not None
+
+    def contains(self, x: int) -> bool:
+        """Membership test."""
+        self._check(x)
+        if x == self._min or x == self._max:
+            return True
+        if self._is_leaf() or self._min is None:
+            return False
+        cluster = self._clusters.get(self._high(x))
+        return cluster is not None and cluster.contains(self._low(x))
+
+    __contains__ = contains
+
+    # -- updates -----------------------------------------------------------------
+    def insert(self, x: int) -> None:
+        """Insert *x* (idempotent)."""
+        self._check(x)
+        if self._min is None:
+            self._min = self._max = x
+            return
+        if x == self._min or x == self._max:
+            return
+        if x < self._min:
+            x, self._min = self._min, x
+        if x > self._max:
+            self._max = x
+        if self._is_leaf():
+            return
+        high, low = self._high(x), self._low(x)
+        cluster = self._clusters.get(high)
+        if cluster is None:
+            cluster = VanEmdeBoasTree(self._cluster_universe())
+            self._clusters[high] = cluster
+        if cluster._min is None:
+            if self._summary is None:
+                self._summary = VanEmdeBoasTree(self._summary_universe())
+            self._summary.insert(high)
+            cluster._min = cluster._max = low
+        else:
+            cluster.insert(low)
+
+    def delete(self, x: int) -> None:
+        """Remove *x* if present."""
+        self._check(x)
+        if self._min is None:
+            return
+        if self._min == self._max:
+            if x == self._min:
+                self._min = self._max = None
+            return
+        if self._is_leaf():
+            if x == self._min:
+                self._min = self._max if self._max != x else None
+                if self._min is None:
+                    self._max = None
+            elif x == self._max:
+                self._max = self._min
+            return
+        if x == self._min:
+            first_cluster = self._summary.min if self._summary is not None else None
+            if first_cluster is None:
+                self._min = self._max
+                return
+            low = self._clusters[first_cluster]._min
+            x = self._compose(first_cluster, low)
+            self._min = x
+        high, low = self._high(x), self._low(x)
+        cluster = self._clusters.get(high)
+        if cluster is None:
+            return
+        cluster.delete(low)
+        if cluster._min is None:
+            del self._clusters[high]
+            if self._summary is not None:
+                self._summary.delete(high)
+        if x == self._max:
+            if self._summary is None or self._summary.min is None:
+                self._max = self._min
+            else:
+                top = self._summary.max
+                self._max = self._compose(top, self._clusters[top]._max)
+
+    # -- predecessor / successor ----------------------------------------------------
+    def successor(self, x: int) -> int | None:
+        """Smallest stored key ``>= x`` (or ``None``)."""
+        if self._min is not None and x <= self._min:
+            return self._min
+        return self._strict_successor(x - 1) if x > 0 else self._min
+
+    def predecessor(self, x: int) -> int | None:
+        """Largest stored key ``<= x`` (or ``None``)."""
+        if self._max is not None and x >= self._max:
+            return self._max
+        return self._strict_predecessor(x + 1)
+
+    def _strict_successor(self, x: int) -> int | None:
+        """Smallest stored key strictly greater than *x*."""
+        if self._min is None:
+            return None
+        if x < self._min:
+            return self._min
+        if self._is_leaf():
+            if x < (self._max or -1) and self._max is not None and self._max > x:
+                return self._max
+            return None
+        high, low = self._high(x), self._low(x)
+        cluster = self._clusters.get(high)
+        if cluster is not None and cluster._max is not None and low < cluster._max:
+            return self._compose(high, cluster._strict_successor(low))
+        next_cluster = self._summary._strict_successor(high) if self._summary is not None else None
+        if next_cluster is None:
+            return None
+        return self._compose(next_cluster, self._clusters[next_cluster]._min)
+
+    def _strict_predecessor(self, x: int) -> int | None:
+        """Largest stored key strictly less than *x*."""
+        if self._max is None:
+            return None
+        if x > self._max:
+            return self._max
+        if self._is_leaf():
+            if self._min is not None and self._min < x:
+                return self._min
+            return None
+        high, low = self._high(x), self._low(x)
+        cluster = self._clusters.get(high)
+        if cluster is not None and cluster._min is not None and low > cluster._min:
+            return self._compose(high, cluster._strict_predecessor(low))
+        previous_cluster = (
+            self._summary._strict_predecessor(high) if self._summary is not None else None
+        )
+        if previous_cluster is None:
+            if self._min is not None and self._min < x:
+                return self._min
+            return None
+        return self._compose(previous_cluster, self._clusters[previous_cluster]._max)
+
+    # -- iteration -------------------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over stored keys in increasing order."""
+        current = self._min
+        while current is not None:
+            yield current
+            current = self._strict_successor(current)

@@ -1,0 +1,43 @@
+"""XML application layer: documents, DTDs, XSD-style schemas, validation.
+
+This is the domain the paper is motivated by: DTD and XML Schema content
+models are required to be deterministic regular expressions, and
+validating a document amounts to matching each element's child sequence
+against its content model.
+"""
+
+from .document import Document, Element, element
+from .dtd import (
+    DTD,
+    ContentModel,
+    content_model_expression,
+    dtd_to_text,
+    parse_content_model,
+    parse_dtd,
+)
+from .parser import ParsedXML, parse_document, parse_xml
+from .validator import DTDValidator, StreamingContentChecker, Violation
+from .xsd import Particle, XSDSchema, choice, element_particle, sequence
+
+__all__ = [
+    "ContentModel",
+    "DTD",
+    "DTDValidator",
+    "Document",
+    "Element",
+    "ParsedXML",
+    "Particle",
+    "StreamingContentChecker",
+    "Violation",
+    "XSDSchema",
+    "choice",
+    "content_model_expression",
+    "dtd_to_text",
+    "element",
+    "element_particle",
+    "parse_content_model",
+    "parse_document",
+    "parse_dtd",
+    "parse_xml",
+    "sequence",
+]

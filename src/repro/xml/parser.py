@@ -1,0 +1,197 @@
+"""A minimal, dependency-free XML parser.
+
+Parses the well-formed subset of XML the examples and benchmarks need:
+elements with attributes, character data, comments, CDATA sections,
+processing instructions and an optional XML declaration / DOCTYPE (whose
+internal subset, if any, is returned as raw text so the DTD module can
+parse it).  Namespaces and entity definitions are out of scope; the five
+predefined entities are decoded.
+
+The parser is a straightforward single-pass scanner with a stack of open
+elements; it reports errors with line/column positions through
+:class:`~repro.errors.XMLSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import XMLSyntaxError
+from .document import Document, Element
+
+_NAME = r"[A-Za-z_:][A-Za-z0-9_.:-]*"
+_ATTRIBUTE = re.compile(rf"\s+({_NAME})\s*=\s*(\"[^\"]*\"|'[^']*')")
+_ENTITIES = {"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": '"', "&apos;": "'"}
+
+
+@dataclass(slots=True)
+class ParsedXML:
+    """Result of :func:`parse_xml`: the document plus the DOCTYPE internal subset."""
+
+    document: Document
+    doctype_name: str | None = None
+    internal_subset: str | None = None
+
+
+def parse_xml(text: str) -> ParsedXML:
+    """Parse *text* into a :class:`ParsedXML` (raises on malformed input)."""
+    scanner = _Scanner(text)
+    return scanner.parse()
+
+
+def parse_document(text: str) -> Document:
+    """Parse *text* and return only the document."""
+    return parse_xml(text).document
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.index = 0
+        self.doctype_name: str | None = None
+        self.internal_subset: str | None = None
+
+    # -- error reporting ---------------------------------------------------------------
+    def _position(self) -> tuple[int, int]:
+        consumed = self.text[: self.index]
+        line = consumed.count("\n") + 1
+        column = len(consumed) - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def _error(self, message: str) -> XMLSyntaxError:
+        line, column = self._position()
+        return XMLSyntaxError(message, line=line, column=column)
+
+    # -- parsing --------------------------------------------------------------------------
+    def parse(self) -> ParsedXML:
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.index < len(self.text):
+            raise self._error("content after the root element")
+        return ParsedXML(Document(root), self.doctype_name, self.internal_subset)
+
+    def _skip_prolog(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<?", self.index):
+                end = self.text.find("?>", self.index)
+                if end < 0:
+                    raise self._error("unterminated processing instruction")
+                self.index = end + 2
+            elif self.text.startswith("<!--", self.index):
+                self._skip_comment()
+            elif self.text.startswith("<!DOCTYPE", self.index):
+                self._parse_doctype()
+            else:
+                return
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<!--", self.index):
+                self._skip_comment()
+            elif self.text.startswith("<?", self.index):
+                end = self.text.find("?>", self.index)
+                if end < 0:
+                    raise self._error("unterminated processing instruction")
+                self.index = end + 2
+            else:
+                return
+
+    def _skip_whitespace(self) -> None:
+        while self.index < len(self.text) and self.text[self.index].isspace():
+            self.index += 1
+
+    def _skip_comment(self) -> None:
+        end = self.text.find("-->", self.index)
+        if end < 0:
+            raise self._error("unterminated comment")
+        self.index = end + 3
+
+    def _parse_doctype(self) -> None:
+        match = re.compile(rf"<!DOCTYPE\s+({_NAME})\s*").match(self.text, self.index)
+        if match is None:
+            raise self._error("malformed DOCTYPE declaration")
+        self.doctype_name = match.group(1)
+        self.index = match.end()
+        if self.text.startswith("[", self.index):
+            end = self.text.find("]", self.index)
+            if end < 0:
+                raise self._error("unterminated DOCTYPE internal subset")
+            self.internal_subset = self.text[self.index + 1 : end]
+            self.index = end + 1
+        self._skip_whitespace()
+        if not self.text.startswith(">", self.index):
+            raise self._error("expected '>' to close DOCTYPE")
+        self.index += 1
+
+    def _parse_element(self) -> Element:
+        if not self.text.startswith("<", self.index):
+            raise self._error("expected an element start tag")
+        match = re.compile(rf"<({_NAME})").match(self.text, self.index)
+        if match is None:
+            raise self._error("malformed start tag")
+        name = match.group(1)
+        self.index = match.end()
+        attributes = self._parse_attributes()
+        self._skip_whitespace()
+        if self.text.startswith("/>", self.index):
+            self.index += 2
+            return Element(name, attributes)
+        if not self.text.startswith(">", self.index):
+            raise self._error(f"expected '>' in start tag of <{name}>")
+        self.index += 1
+        element = Element(name, attributes)
+        self._parse_content(element)
+        return element
+
+    def _parse_attributes(self) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            match = _ATTRIBUTE.match(self.text, self.index)
+            if match is None:
+                return attributes
+            attributes[match.group(1)] = _unescape(match.group(2)[1:-1])
+            self.index = match.end()
+
+    def _parse_content(self, parent: Element) -> None:
+        text_chunks: list[str] = []
+        while True:
+            if self.index >= len(self.text):
+                raise self._error(f"unexpected end of input inside <{parent.name}>")
+            if self.text.startswith("</", self.index):
+                match = re.compile(rf"</({_NAME})\s*>").match(self.text, self.index)
+                if match is None or match.group(1) != parent.name:
+                    raise self._error(f"mismatched end tag for <{parent.name}>")
+                self.index = match.end()
+                parent.text = "".join(text_chunks)
+                return
+            if self.text.startswith("<!--", self.index):
+                self._skip_comment()
+            elif self.text.startswith("<![CDATA[", self.index):
+                end = self.text.find("]]>", self.index)
+                if end < 0:
+                    raise self._error("unterminated CDATA section")
+                text_chunks.append(self.text[self.index + 9 : end])
+                self.index = end + 3
+            elif self.text.startswith("<?", self.index):
+                end = self.text.find("?>", self.index)
+                if end < 0:
+                    raise self._error("unterminated processing instruction")
+                self.index = end + 2
+            elif self.text.startswith("<", self.index):
+                parent.children.append(self._parse_element())
+            else:
+                next_tag = self.text.find("<", self.index)
+                if next_tag < 0:
+                    raise self._error(f"unexpected end of input inside <{parent.name}>")
+                text_chunks.append(_unescape(self.text[self.index : next_tag]))
+                self.index = next_tag
+
+
+def _unescape(value: str) -> str:
+    for entity, replacement in _ENTITIES.items():
+        value = value.replace(entity, replacement)
+    return value

@@ -1,0 +1,155 @@
+"""XML-Schema-style content models with numeric occurrence indicators.
+
+XML Schema generalises DTD content models with ``minOccurs``/``maxOccurs``
+counters on particles.  Section 3.3 of the paper shows that determinism of
+such expressions can still be decided in linear time; this module provides
+the corresponding application layer:
+
+* :class:`Particle` — a lightweight model of sequences, choices and
+  element particles with occurrence bounds, convertible to the library's
+  AST (``Repeat`` nodes);
+* :class:`XSDSchema` — element name → particle, with the counter-aware
+  determinism check of :mod:`repro.core.numeric` (the XML Schema "Unique
+  Particle Attribution" constraint) and validation through the expanded
+  expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.numeric import NumericDeterminismReport, check_deterministic_numeric
+from ..errors import InvalidExpressionError
+from ..regex.ast import Regex, Repeat, Sym, concat, union
+from .document import Element
+
+
+@dataclass(frozen=True, slots=True)
+class Particle:
+    """An XML Schema particle: an element, a sequence or a choice, with bounds.
+
+    ``kind`` is ``"element"``, ``"sequence"`` or ``"choice"``; ``name`` is
+    set for element particles; ``children`` for the two compositors.
+    ``max_occurs=None`` means *unbounded*.
+    """
+
+    kind: str
+    name: str | None = None
+    children: tuple["Particle", ...] = ()
+    min_occurs: int = 1
+    max_occurs: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("element", "sequence", "choice"):
+            raise InvalidExpressionError(f"unknown particle kind {self.kind!r}")
+        if self.kind == "element" and not self.name:
+            raise InvalidExpressionError("element particles need a name")
+        if self.kind != "element" and not self.children:
+            raise InvalidExpressionError(f"{self.kind} particles need children")
+        if self.min_occurs < 0:
+            raise InvalidExpressionError("minOccurs must be >= 0")
+        if self.max_occurs is not None and self.max_occurs < self.min_occurs:
+            raise InvalidExpressionError("maxOccurs must be >= minOccurs")
+
+    # -- conversion --------------------------------------------------------------------
+    def to_regex(self) -> Regex:
+        """The regular expression (with ``Repeat`` nodes) this particle denotes."""
+        if self.kind == "element":
+            base: Regex = Sym(self.name)
+        elif self.kind == "sequence":
+            base = concat(*[child.to_regex() for child in self.children])
+        else:
+            base = union(*[child.to_regex() for child in self.children])
+        if self.min_occurs == 1 and self.max_occurs == 1:
+            return base
+        return Repeat(base, self.min_occurs, self.max_occurs)
+
+    def describe(self) -> str:
+        """Human-readable rendering (used by the schema-linting example)."""
+        if self.kind == "element":
+            body = self.name or "?"
+        else:
+            separator = ", " if self.kind == "sequence" else " | "
+            body = "(" + separator.join(child.describe() for child in self.children) + ")"
+        if self.min_occurs == 1 and self.max_occurs == 1:
+            return body
+        upper = "unbounded" if self.max_occurs is None else str(self.max_occurs)
+        return f"{body}{{{self.min_occurs},{upper}}}"
+
+
+def element_particle(name: str, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
+    """An element particle ``<xs:element name=... minOccurs=... maxOccurs=...>``."""
+    return Particle("element", name=name, min_occurs=min_occurs, max_occurs=max_occurs)
+
+
+def sequence(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
+    """A ``<xs:sequence>`` compositor."""
+    return Particle("sequence", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs)
+
+
+def choice(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
+    """A ``<xs:choice>`` compositor."""
+    return Particle("choice", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs)
+
+
+@dataclass(slots=True)
+class XSDSchema:
+    """A minimal XSD-like schema: one content particle per element name."""
+
+    root: str | None = None
+    types: dict[str, Particle] = field(default_factory=dict)
+    _matcher_cache: dict = field(default_factory=dict, repr=False)
+
+    def declare(self, name: str, particle: Particle) -> None:
+        """Declare the content particle of element *name*."""
+        self.types[name] = particle
+
+    def particle(self, name: str) -> Particle | None:
+        """The declared particle of *name* (or ``None``)."""
+        return self.types.get(name)
+
+    # -- Unique Particle Attribution (determinism) ----------------------------------------
+    def check_unique_particle_attribution(self) -> dict[str, NumericDeterminismReport]:
+        """Run the counter-aware determinism check on every declared type."""
+        return {
+            name: check_deterministic_numeric(particle.to_regex())
+            for name, particle in self.types.items()
+        }
+
+    def is_valid_schema(self) -> bool:
+        """True when every declared content model satisfies UPA (is deterministic)."""
+        return all(report.deterministic for report in self.check_unique_particle_attribution().values())
+
+    # -- validation ----------------------------------------------------------------------------
+    def validate_children(self, name: str, child_names: Sequence[str]) -> bool:
+        """Check one child sequence against the declared particle of *name*.
+
+        Validation goes through the expanded expression (numeric bounds are
+        unfolded), matched with the automatically selected matcher; the
+        matcher cache makes repeated validations of the same element type
+        cheap.
+        """
+        matcher = self._matcher_for(name)
+        if matcher is None:
+            return True  # undeclared elements are unconstrained in this mini-schema
+        return matcher.accepts(list(child_names))
+
+    def validate_element(self, element: Element) -> bool:
+        """Recursively validate *element* and its descendants."""
+        return all(
+            self.validate_children(node.name, node.child_sequence())
+            for node in element.iter_elements()
+        )
+
+    def _matcher_for(self, name: str):
+        cache = self._matcher_cache
+        if name not in cache:
+            particle = self.types.get(name)
+            if particle is None:
+                cache[name] = None
+            else:
+                from ..api import Pattern
+
+                cache[name] = Pattern(particle.to_regex()).matcher
+        return cache[name]

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.regex import build_parse_tree, parse
+from repro.regex.generators import (
+    bounded_occurrence,
+    chare,
+    deep_alternation,
+    mixed_content,
+    paper_example_e0,
+    paper_example_e1,
+    paper_example_e2,
+    star_free_chain,
+)
+from repro.regex.language import LanguageOracle
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator (fresh per test)."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def paper_e0():
+    """Figure 1's expression ``(c?((ab*)(a?c)))*(ba)``."""
+    return paper_example_e0()
+
+
+@pytest.fixture
+def paper_e1():
+    """Example 2.1's deterministic expression ``(ab+b(b?)a)*``."""
+    return paper_example_e1()
+
+
+@pytest.fixture
+def paper_e2():
+    """Example 2.1's non-deterministic expression ``(a*ba+bb)*``."""
+    return paper_example_e2()
+
+
+def deterministic_family_samples() -> list:
+    """A representative set of deterministic expressions from every workload family."""
+    return [
+        parse("a"),
+        parse("(ab)*"),
+        parse("a?bc*"),
+        paper_example_e0(),
+        paper_example_e1(),
+        mixed_content(6),
+        chare(4),
+        deep_alternation(4),
+        bounded_occurrence(2, 3),
+        star_free_chain(5),
+    ]
+
+
+def oracle_for(expr):
+    """Build the set-based oracle for an AST or text expression."""
+    return LanguageOracle(build_parse_tree(expr))
+
+
+# Exported for use by test modules through `from tests.conftest import ...` is
+# not needed: pytest injects fixtures, and the plain helpers are imported via
+# conftest's module path implicitly by pytest's assertion rewriting of tests.

@@ -1,0 +1,125 @@
+"""Reproduction of Figure 1 and the worked examples around it (experiment F1).
+
+Figure 1 shows the expression ``e0 = (c?((ab*)(a?c)))*(ba)``, its a-skeleton,
+the colors of node n3 and the SupFirst/SupLast flags, and Example 4.1 walks
+through two transition simulations on it.  These tests pin that exact
+structure so the reproduction stays aligned with the paper.
+"""
+
+from repro.core.determinism import check_deterministic
+from repro.core.follow import FollowIndex
+from repro.core.skeleton import SkeletonIndex
+from repro.matching import (
+    ClimbingMatcher,
+    KOccurrenceMatcher,
+    LowestColoredAncestorMatcher,
+    PathDecompositionMatcher,
+)
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import NodeKind, build_parse_tree
+
+E0 = "(c?((ab*)(a?c)))*(ba)"
+
+
+def _tree():
+    return build_parse_tree(E0)
+
+
+def _n3(tree):
+    """The node called n3 in Figure 1: the concatenation (ab*)(a?c)."""
+    for node in tree.nodes:
+        if node.kind is NodeKind.CONCAT:
+            left = [p.symbol for p in tree.subexpression_positions(node.left)]
+            right = [p.symbol for p in tree.subexpression_positions(node.right)]
+            if left == ["a", "b"] and right == ["a", "c"]:
+                return node
+    raise AssertionError("n3 not found")
+
+
+class TestFigure1:
+    def test_positions_in_order(self):
+        tree = _tree()
+        assert [p.symbol for p in tree.positions[1:-1]] == ["c", "a", "b", "a", "c", "b", "a"]
+
+    def test_e0_is_deterministic(self):
+        assert check_deterministic(_tree()).deterministic
+
+    def test_a_skeleton_holds_exactly_the_a_class_nodes(self):
+        """The a-skeleton of e0 contains the three a-positions (p2, p4, p7),
+        their LCAs and the pSupLast/pStar nodes added by the construction."""
+        tree = _tree()
+        skeletons = SkeletonIndex(tree)
+        a_skeleton = skeletons.skeleton_for("a")
+        position_indices = {p.position_index for p in a_skeleton.positions()}
+        assert position_indices == {2, 4, 7}
+        # Every skeleton node is an ancestor of some a-position (or one itself).
+        for node in a_skeleton.nodes:
+            assert any(
+                node.enode.is_ancestor_of(tree.positions[i]) for i in position_indices
+            )
+
+    def test_n3_colors_and_witnesses(self):
+        tree = _tree()
+        skeletons = SkeletonIndex(tree)
+        n3 = _n3(tree)
+        assert set(skeletons.colors[n3.index]) == {"a", "c"}
+        assert skeletons.colors[n3.index]["a"].position_index == 4
+        assert skeletons.colors[n3.index]["c"].position_index == 5
+
+    def test_example_4_1_transition_from_p3_on_c(self):
+        """Example 4.1: from p3 reading c, the candidates at n3 are
+        Witness=p5, Next=p1, FirstPos undefined, and checkIfFollow selects p5."""
+        tree = _tree()
+        skeletons = SkeletonIndex(tree)
+        follow = FollowIndex(tree)
+        n3 = _n3(tree)
+        p3 = tree.positions[3]
+        witness = skeletons.witness(n3, "c")
+        next_position = skeletons.next_position(n3, "c")
+        assert witness.position_index == 5
+        assert next_position.position_index == 1
+        assert skeletons.first_pos(n3, "c") is None
+        assert follow.follows(p3, witness)
+        assert not follow.follows(p3, next_position)
+
+    def test_example_4_1_transition_from_p5_on_a(self):
+        """Continuing Example 4.1: from p5 reading a, FirstPos(n3, a) = p2 follows."""
+        tree = _tree()
+        skeletons = SkeletonIndex(tree)
+        follow = FollowIndex(tree)
+        n3 = _n3(tree)
+        p5 = tree.positions[5]
+        first_pos = skeletons.first_pos(n3, "a")
+        assert first_pos.position_index == 2
+        assert follow.follows(p5, first_pos)
+
+    def test_all_matchers_replay_example_4_1(self):
+        tree = _tree()
+        for matcher_class in (
+            ClimbingMatcher,
+            KOccurrenceMatcher,
+            LowestColoredAncestorMatcher,
+            PathDecompositionMatcher,
+        ):
+            matcher = matcher_class(tree, verify=False)
+            p3 = tree.positions[3]
+            step_one = matcher.next_position(p3, "c")
+            assert step_one.position_index == 5
+            step_two = matcher.next_position(step_one, "a")
+            assert step_two.position_index == 2
+
+    def test_e0_membership_samples(self):
+        tree = _tree()
+        oracle = LanguageOracle(tree)
+        matcher = KOccurrenceMatcher(tree, verify=False)
+        for word, expected in [
+            ("ba", True),
+            ("cabacba", True),
+            ("acacba", True),
+            ("cabbacacba", True),
+            ("", False),
+            ("ab", False),
+            ("cba", False),
+        ]:
+            assert oracle.accepts(list(word)) is expected
+            assert matcher.accepts(list(word)) is expected

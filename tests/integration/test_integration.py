@@ -1,0 +1,161 @@
+"""Integration tests: whole-pipeline scenarios spanning several subsystems."""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.determinism import check_deterministic
+from repro.core.xpath_check import xpath_determinism_check
+from repro.matching import STRATEGIES, build_matcher
+from repro.regex.generators import (
+    bounded_occurrence,
+    deep_alternation,
+    dtd_corpus,
+    mixed_content,
+    random_deterministic_expression,
+    star_free_chain,
+)
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.words import member_stream, mutate_word, sample_member
+from repro.xml import DTD, DTDValidator, StreamingContentChecker, element, parse_dtd, parse_xml
+
+
+class TestThreeWayDeterminismAgreement:
+    """Oracle, linear test and the Theorem 3.6 characterisation must agree."""
+
+    def test_on_random_expressions(self, rng):
+        from repro.regex.generators import random_expression
+
+        for _ in range(200):
+            expr = random_expression(rng, rng.randint(1, 10))
+            tree = build_parse_tree(expr)
+            oracle_verdict = LanguageOracle(tree).is_deterministic()
+            linear_verdict = check_deterministic(tree).deterministic
+            xpath_verdict = xpath_determinism_check(tree).deterministic
+            assert oracle_verdict == linear_verdict == xpath_verdict, str(expr)
+
+
+class TestAllMatchersOnAllFamilies:
+    FAMILIES = {
+        "mixed-content": mixed_content(12),
+        "deep-alternation": deep_alternation(5),
+        "bounded-occurrence": bounded_occurrence(3, 3),
+        "star-free": star_free_chain(8),
+    }
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_family_against_oracle(self, family, strategy, rng):
+        expr = self.FAMILIES[family]
+        tree = build_parse_tree(expr)
+        oracle = LanguageOracle(tree)
+        matcher = build_matcher(tree, strategy=strategy, verify=False)
+        for _ in range(15):
+            word = sample_member(expr, rng)
+            assert matcher.accepts(word)
+            garbled = mutate_word(word, list(tree.alphabet), rng)
+            assert matcher.accepts(garbled) == oracle.accepts(garbled)
+
+    def test_long_streams(self, rng):
+        expr = bounded_occurrence(2, 4)
+        tree = build_parse_tree(expr)
+        oracle = LanguageOracle(tree)
+        word = member_stream(expr, 2000, rng)
+        for strategy in STRATEGIES:
+            assert build_matcher(tree, strategy=strategy, verify=False).accepts(word)
+        assert oracle.accepts(word)
+
+
+class TestEndToEndValidation:
+    DTD_TEXT = """
+    <!ELEMENT catalog (product+)>
+    <!ELEMENT product (name, price, (description | summary)?, tag*)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT description (#PCDATA)>
+    <!ELEMENT summary (#PCDATA)>
+    <!ELEMENT tag (#PCDATA)>
+    """
+
+    def _random_product(self, rng):
+        children = [element("name", text="n"), element("price", text="1")]
+        if rng.random() < 0.5:
+            children.append(element(rng.choice(["description", "summary"]), text="d"))
+        children.extend(element("tag", text="t") for _ in range(rng.randint(0, 3)))
+        return element("product", *children)
+
+    def test_generated_catalog_validates(self, rng):
+        dtd = parse_dtd(self.DTD_TEXT)
+        validator = DTDValidator(dtd)
+        catalog = element("catalog", *[self._random_product(rng) for _ in range(50)])
+        assert validator.is_valid(catalog)
+
+    def test_corrupted_catalog_is_rejected_and_located(self, rng):
+        dtd = parse_dtd(self.DTD_TEXT)
+        validator = DTDValidator(dtd)
+        catalog = element("catalog", *[self._random_product(rng) for _ in range(20)])
+        # corrupt one product: price before name
+        victim = catalog.children[7]
+        victim.children[0], victim.children[1] = victim.children[1], victim.children[0]
+        violations = validator.validate(catalog)
+        assert len(violations) == 1
+        assert violations[0].element is victim
+
+    def test_xml_text_to_validation_round_trip(self):
+        dtd = parse_dtd(self.DTD_TEXT)
+        validator = DTDValidator(dtd)
+        parsed = parse_xml(
+            "<catalog><product><name>x</name><price>1</price>"
+            "<summary>s</summary><tag>t</tag></product></catalog>"
+        )
+        assert validator.is_valid(parsed.document)
+
+    def test_doctype_internal_subset_drives_validation(self):
+        text = (
+            "<!DOCTYPE note [\n"
+            "<!ELEMENT note (to, from, body)>\n"
+            "<!ELEMENT to (#PCDATA)><!ELEMENT from (#PCDATA)><!ELEMENT body (#PCDATA)>\n"
+            "]>\n"
+            "<note><to>a</to><from>b</from><body>c</body></note>"
+        )
+        parsed = parse_xml(text)
+        dtd = parse_dtd(parsed.internal_subset, root=parsed.doctype_name)
+        validator = DTDValidator(dtd)
+        assert validator.is_valid(parsed.document)
+
+    def test_dtd_like_corpus_end_to_end(self, rng):
+        """Generated DTD-like content models: every deterministic model must be
+        accepted by the validator machinery and match its own sampled words."""
+        accepted = 0
+        for index, expr in enumerate(dtd_corpus(rng, 60)):
+            dtd = DTD()
+            dtd.declare("root", expr)
+            pattern = repro.compile(expr)
+            if not pattern.is_deterministic:
+                continue
+            accepted += 1
+            validator = DTDValidator(dtd)
+            word = sample_member(expr, rng)
+            doc = element("root", *[element(symbol) for symbol in word])
+            assert validator.is_valid(doc)
+        assert accepted >= 40  # most DTD-like models are deterministic
+
+
+class TestStreamingScenario:
+    def test_streaming_child_checker_matches_batch_answer(self, rng):
+        expr = random_deterministic_expression(rng, 8)
+        tree = build_parse_tree(expr)
+        oracle = LanguageOracle(tree)
+        matcher = build_matcher(tree, verify=False)
+        for _ in range(30):
+            word = mutate_word(sample_member(expr, rng), list(tree.alphabet), rng)
+            checker = StreamingContentChecker(matcher)
+            alive = True
+            for symbol in word:
+                if not checker.feed(symbol):
+                    alive = False
+                    break
+            streamed = alive and checker.complete()
+            assert streamed == oracle.accepts(word)

@@ -1,0 +1,140 @@
+"""Unit tests for the regular-expression AST."""
+
+import pytest
+
+from repro.errors import InvalidExpressionError
+from repro.regex.ast import (
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Repeat,
+    Star,
+    Sym,
+    Union,
+    concat,
+    literal,
+    optional,
+    plus,
+    repeat,
+    star,
+    sym,
+    syms,
+    union,
+)
+
+
+class TestConstruction:
+    def test_symbol_requires_non_empty_name(self):
+        with pytest.raises(InvalidExpressionError):
+            Sym("")
+
+    def test_sym_helper(self):
+        assert sym("a") == Sym("a")
+
+    def test_syms_helper(self):
+        assert syms("a", "b") == [Sym("a"), Sym("b")]
+
+    def test_concat_of_two(self):
+        assert concat(sym("a"), sym("b")) == Concat(Sym("a"), Sym("b"))
+
+    def test_concat_is_right_nested(self):
+        result = concat(sym("a"), sym("b"), sym("c"))
+        assert result == Concat(Sym("a"), Concat(Sym("b"), Sym("c")))
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert concat() == Epsilon()
+
+    def test_concat_drops_epsilon_operands(self):
+        assert concat(Epsilon(), sym("a"), Epsilon()) == Sym("a")
+
+    def test_union_requires_an_operand(self):
+        with pytest.raises(InvalidExpressionError):
+            union()
+
+    def test_union_is_right_nested(self):
+        result = union(sym("a"), sym("b"), sym("c"))
+        assert result == Union(Sym("a"), Union(Sym("b"), Sym("c")))
+
+    def test_literal_builds_character_concatenation(self):
+        assert literal("ab") == Concat(Sym("a"), Sym("b"))
+
+    def test_literal_of_empty_string_is_epsilon(self):
+        assert literal("") == Epsilon()
+
+    def test_repeat_rejects_inverted_bounds(self):
+        with pytest.raises(InvalidExpressionError):
+            repeat(sym("a"), 3, 2)
+
+    def test_repeat_rejects_negative_bounds(self):
+        with pytest.raises(InvalidExpressionError):
+            Repeat(Sym("a"), -1, 2)
+
+    def test_operator_sugar(self):
+        assert (sym("a") | sym("b")) == Union(Sym("a"), Sym("b"))
+        assert (sym("a") >> sym("b")) == Concat(Sym("a"), Sym("b"))
+        assert sym("a").star() == Star(Sym("a"))
+        assert sym("a").plus() == Plus(Sym("a"))
+        assert sym("a").optional() == Optional(Sym("a"))
+
+
+class TestNullability:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (Sym("a"), False),
+            (Epsilon(), True),
+            (star(sym("a")), True),
+            (plus(sym("a")), False),
+            (plus(star(sym("a"))), True),
+            (optional(sym("a")), True),
+            (Concat(Sym("a"), Star(Sym("b"))), False),
+            (Concat(Star(Sym("a")), Star(Sym("b"))), True),
+            (Union(Sym("a"), Star(Sym("b"))), True),
+            (Union(Sym("a"), Sym("b")), False),
+            (Repeat(Sym("a"), 0, 3), True),
+            (Repeat(Sym("a"), 1, 3), False),
+            (Repeat(Star(Sym("a")), 2, 2), True),
+        ],
+    )
+    def test_nullable(self, expr, expected):
+        assert expr.nullable() is expected
+
+
+class TestStructuralQueries:
+    def test_symbols(self):
+        expr = union(concat(sym("a"), sym("b")), sym("a"))
+        assert expr.symbols() == {"a", "b"}
+
+    def test_positions_in_document_order(self):
+        expr = union(concat(sym("a"), sym("b")), sym("a"))
+        assert expr.positions() == ["a", "b", "a"]
+
+    def test_occurrence_count(self):
+        expr = union(concat(sym("a"), sym("b")), sym("a"))
+        assert expr.occurrence_count() == 2
+
+    def test_size_counts_all_nodes(self):
+        expr = Concat(Sym("a"), Star(Sym("b")))
+        assert expr.size() == 4
+
+    def test_is_star_free(self):
+        assert concat(sym("a"), optional(sym("b"))).is_star_free()
+        assert not star(sym("a")).is_star_free()
+        assert not plus(sym("a")).is_star_free()
+        assert not repeat(sym("a"), 2, None).is_star_free()
+        assert repeat(sym("a"), 2, 5).is_star_free()
+
+    def test_has_numeric_occurrences(self):
+        assert repeat(sym("a"), 1, 2).has_numeric_occurrences()
+        assert not star(sym("a")).has_numeric_occurrences()
+
+    def test_iter_nodes_preorder(self):
+        expr = Concat(Sym("a"), Sym("b"))
+        kinds = [type(node).__name__ for node in expr.iter_nodes()]
+        assert kinds == ["Concat", "Sym", "Sym"]
+
+    def test_equality_and_hash(self):
+        assert Concat(Sym("a"), Sym("b")) == Concat(Sym("a"), Sym("b"))
+        assert hash(Star(Sym("a"))) == hash(Star(Sym("a")))
+        assert Star(Sym("a")) != Plus(Sym("a"))

@@ -1,0 +1,115 @@
+"""Unit tests for the Glushkov and Thompson baselines."""
+
+import pytest
+
+from repro.automata.glushkov import GlushkovAutomaton, GlushkovDFA
+from repro.automata.nfa import ThompsonNFA
+from repro.errors import NotDeterministicError
+from repro.regex.generators import mixed_content
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.parser import parse
+
+
+class TestGlushkovAutomaton:
+    def test_state_count_is_number_of_positions(self):
+        automaton = GlushkovAutomaton.from_expression("(ab+c)*")
+        # three user positions plus the two sentinels
+        assert automaton.state_count() == 5
+
+    def test_transition_count_is_quadratic_on_mixed_content(self):
+        small = GlushkovAutomaton.from_expression(mixed_content(8))
+        large = GlushkovAutomaton.from_expression(mixed_content(16))
+        # (a1+...+am)* has Θ(m^2) transitions: doubling m roughly quadruples them.
+        ratio = large.transition_count() / small.transition_count()
+        assert ratio > 3.0
+
+    def test_determinism_test_on_paper_examples(self):
+        assert GlushkovAutomaton.from_expression("(ab+b(b?)a)*").is_deterministic()
+        assert not GlushkovAutomaton.from_expression("(a*ba+bb)*").is_deterministic()
+        assert not GlushkovAutomaton.from_expression("ab*b").is_deterministic()
+
+    def test_conflict_witness_shares_a_label(self):
+        automaton = GlushkovAutomaton.from_expression("(a*ba+bb)*")
+        conflict = automaton.determinism_conflict()
+        assert conflict is not None
+        tree = automaton.tree
+        assert tree.positions[conflict.first].symbol == conflict.symbol
+        assert tree.positions[conflict.second].symbol == conflict.symbol
+
+    def test_accepts_by_subset_simulation(self):
+        automaton = GlushkovAutomaton.from_expression("(a*ba+bb)*")
+        assert automaton.accepts(list("bb"))
+        assert automaton.accepts(list("aba"))
+        assert automaton.accepts([])
+        assert not automaton.accepts(list("ab"))
+
+    def test_accepting_states(self):
+        automaton = GlushkovAutomaton.from_expression("ab?")
+        tree = automaton.tree
+        a_state = tree.positions_by_symbol("a")[0].position_index
+        b_state = tree.positions_by_symbol("b")[0].position_index
+        assert automaton.is_accepting(a_state)
+        assert automaton.is_accepting(b_state)
+        assert not automaton.is_accepting(automaton.initial_state)
+
+
+class TestGlushkovDFA:
+    def test_rejects_non_deterministic_expressions(self):
+        with pytest.raises(NotDeterministicError):
+            GlushkovDFA.from_expression("(a*ba+bb)*")
+
+    def test_matches_words(self):
+        dfa = GlushkovDFA.from_expression("(ab+b(b?)a)*")
+        assert dfa.accepts(list("abba"))
+        assert dfa.accepts([])
+        assert not dfa.accepts(list("bb"))
+
+    def test_run_returns_visited_positions(self):
+        dfa = GlushkovDFA.from_expression("abc")
+        trace = dfa.run(list("ab"))
+        assert [dfa.position_of(state).symbol for state in trace] == ["#", "a", "b"]
+
+    def test_run_stops_on_mismatch(self):
+        dfa = GlushkovDFA.from_expression("abc")
+        assert len(dfa.run(list("az"))) == 2
+
+
+class TestThompsonNFA:
+    @pytest.mark.parametrize(
+        "text,word,expected",
+        [
+            ("(ab)*", "", True),
+            ("(ab)*", "ababab", True),
+            ("(ab)*", "abba", False),
+            ("a?b{2,3}", "bb", True),
+            ("a?b{2,3}", "abbb", True),
+            ("a?b{2,3}", "b", False),
+            ("(a+b)c", "ac", True),
+            ("(a+b)c", "bc", True),
+            ("(a+b)c", "c", False),
+        ],
+    )
+    def test_accepts(self, text, word, expected):
+        assert ThompsonNFA(text).accepts(list(word)) is expected
+
+    def test_state_count_is_linear(self):
+        nfa = ThompsonNFA(mixed_content(20))
+        tree = build_parse_tree(mixed_content(20))
+        assert nfa.state_count <= 4 * tree.size
+
+    def test_accepts_ast_input(self):
+        assert ThompsonNFA(parse("ab")).accepts(["a", "b"])
+
+    def test_agreement_with_glushkov_on_random_expressions(self, rng):
+        from repro.regex.generators import random_expression
+        from repro.regex.words import mutate_word, sample_member
+
+        for _ in range(40):
+            expr = random_expression(rng, rng.randint(1, 8))
+            automaton = GlushkovAutomaton.from_expression(expr)
+            nfa = ThompsonNFA(expr)
+            for _ in range(4):
+                word = sample_member(expr, rng)
+                assert automaton.accepts(word) and nfa.accepts(word)
+                other = mutate_word(word, list(automaton.tree.alphabet), rng)
+                assert automaton.accepts(other) == nfa.accepts(other)

@@ -1,0 +1,102 @@
+"""Unit tests for the constant-time follow index (Theorem 2.4, Lemmas 2.2/2.3)."""
+
+from repro.core.follow import FollowIndex
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import build_parse_tree
+
+
+class TestFirstLastMembership:
+    def test_in_first_matches_oracle(self, rng):
+        from repro.regex.generators import random_expression
+
+        for _ in range(40):
+            tree = build_parse_tree(random_expression(rng, rng.randint(1, 10)))
+            index = FollowIndex(tree)
+            oracle = LanguageOracle(tree)
+            for node in tree.nodes:
+                first = oracle.first(node)
+                last = oracle.last(node)
+                for position in tree.positions:
+                    assert index.in_first(node, position) == (position.position_index in first)
+                    assert index.in_last(node, position) == (position.position_index in last)
+
+    def test_lemma_2_3_on_figure1(self):
+        tree = build_parse_tree("(c?((ab*)(a?c)))*(ba)")
+        index = FollowIndex(tree)
+        oracle = LanguageOracle(tree)
+        body = tree.inner_root.left.left  # n2 of Figure 1
+        members = {tree.positions[i] for i in oracle.first(body)}
+        for position in tree.positions:
+            assert index.in_first(body, position) == (position in members)
+
+
+class TestCheckIfFollow:
+    def test_paper_example_e0_follow_pairs(self):
+        """Figure 1 discussion: p4 ∈ Follow·(p3) and p1 ∈ Follow*(p5)."""
+        tree = build_parse_tree("(c?((ab*)(a?c)))*(ba)")
+        index = FollowIndex(tree)
+        p1, p3, p4, p5 = (tree.positions[i] for i in (1, 3, 4, 5))
+        assert index.follows_via_concat(p3, p4)
+        assert index.follows(p3, p4)
+        assert index.follows_via_star(p5, p1)
+        assert index.follows(p5, p1)
+        assert not index.follows(p4, p3)
+
+    def test_matches_oracle_on_random_expressions(self, rng):
+        from repro.regex.generators import random_expression
+
+        for _ in range(60):
+            tree = build_parse_tree(random_expression(rng, rng.randint(1, 12)))
+            index = FollowIndex(tree)
+            oracle = LanguageOracle(tree)
+            for p in tree.positions:
+                for q in tree.positions:
+                    assert index.follows(p, q) == oracle.follows(p, q)
+
+    def test_position_can_follow_itself_through_a_star(self):
+        tree = build_parse_tree("a*")
+        index = FollowIndex(tree)
+        a = tree.positions_by_symbol("a")[0]
+        assert index.follows(a, a)
+
+    def test_position_cannot_follow_itself_without_iteration(self):
+        tree = build_parse_tree("ab")
+        index = FollowIndex(tree)
+        a = tree.positions_by_symbol("a")[0]
+        assert not index.follows(a, a)
+
+    def test_star_case_and_concat_case_can_coincide(self):
+        # In (ab)*, a follows b both through the star; through-concat is false.
+        tree = build_parse_tree("(ab)*")
+        index = FollowIndex(tree)
+        a = tree.positions_by_symbol("a")[0]
+        b = tree.positions_by_symbol("b")[0]
+        assert index.follows_via_star(b, a)
+        assert not index.follows_via_concat(b, a)
+        assert index.follows_via_concat(a, b)
+
+    def test_follows_maybe_tolerates_none(self):
+        tree = build_parse_tree("ab")
+        index = FollowIndex(tree)
+        assert not index.follows_maybe(tree.positions[1], None)
+
+    def test_accepts_at(self):
+        tree = build_parse_tree("ab?")
+        index = FollowIndex(tree)
+        a = tree.positions_by_symbol("a")[0]
+        b = tree.positions_by_symbol("b")[0]
+        assert index.accepts_at(a)
+        assert index.accepts_at(b)
+        assert not index.accepts_at(tree.start)
+
+    def test_accepts_at_start_for_nullable_expression(self):
+        tree = build_parse_tree("a*")
+        index = FollowIndex(tree)
+        assert index.accepts_at(tree.start)
+
+    def test_lca_helper(self):
+        tree = build_parse_tree("(ab)(cd)")
+        index = FollowIndex(tree)
+        a = tree.positions_by_symbol("a")[0]
+        d = tree.positions_by_symbol("d")[0]
+        assert index.lca(a, d) is tree.lca_naive(a, d)

@@ -1,0 +1,164 @@
+"""Unit tests for the set-based First/Last/Follow oracle."""
+
+import pytest
+
+from repro.regex.language import LanguageOracle, first_positions, follow_positions, last_positions
+from repro.regex.parse_tree import build_parse_tree
+
+
+def labels(tree, indices):
+    return sorted(tree.positions[i].symbol for i in indices)
+
+
+class TestFirstLast:
+    def test_first_of_concat(self):
+        tree = build_parse_tree("ab")
+        oracle = LanguageOracle(tree)
+        assert labels(tree, oracle.first(tree.inner_root)) == ["a"]
+
+    def test_first_of_nullable_prefix(self):
+        tree = build_parse_tree("a?b")
+        oracle = LanguageOracle(tree)
+        assert labels(tree, oracle.first(tree.inner_root)) == ["a", "b"]
+
+    def test_last_of_nullable_suffix(self):
+        tree = build_parse_tree("ab?")
+        oracle = LanguageOracle(tree)
+        assert labels(tree, oracle.last(tree.inner_root)) == ["a", "b"]
+
+    def test_first_of_union(self):
+        tree = build_parse_tree("ab+cd")
+        oracle = LanguageOracle(tree)
+        assert labels(tree, oracle.first(tree.inner_root)) == ["a", "c"]
+
+    def test_first_and_last_nonempty_for_every_node(self):
+        tree = build_parse_tree("(c?((ab*)(a?c)))*(ba)")
+        oracle = LanguageOracle(tree)
+        for node in tree.nodes:
+            assert oracle.first(node)
+            assert oracle.last(node)
+
+    def test_figure1_first_last_of_n2(self):
+        """Figure 1: for e0's star factor, First(n2) = {p1, p2} (c and a) and
+        Last(n2) = {p5} (the second c)."""
+        tree = build_parse_tree("(c?((ab*)(a?c)))*(ba)")
+        star_node = tree.inner_root.left
+        body = star_node.left  # n2 in the figure
+        oracle = LanguageOracle(tree)
+        assert sorted(oracle.first(body)) == [1, 2]
+        assert sorted(oracle.last(body)) == [5]
+
+    def test_helper_functions(self):
+        tree = build_parse_tree("ab")
+        assert [p.symbol for p in first_positions(tree, tree.inner_root)] == ["a"]
+        assert [p.symbol for p in last_positions(tree, tree.inner_root)] == ["b"]
+
+
+class TestFollow:
+    def test_example_2_1_follow_sets(self):
+        """Example 2.1: in e1 = (ab+b(b?)a)*, Follow(p3) = {p4, p5}."""
+        tree = build_parse_tree("(ab+b(b?)a)*")
+        oracle = LanguageOracle(tree)
+        p3 = tree.positions[3]
+        assert sorted(oracle.follow(p3)) == [4, 5]
+
+    def test_example_2_1_follow_sets_e2(self):
+        """Example 2.1: in e2 = (a*ba+bb)*, Follow(q3) = {q1, q2, q4}
+        (plus the end sentinel, since q3 is a last position of the wrapped tree)."""
+        tree = build_parse_tree("(a*ba+bb)*")
+        oracle = LanguageOracle(tree)
+        q3 = tree.positions[3]
+        inner = {q for q in oracle.follow(q3) if q != tree.end.position_index}
+        assert sorted(inner) == [1, 2, 4]
+        assert tree.end.position_index in oracle.follow(q3)
+
+    def test_follow_through_star(self):
+        tree = build_parse_tree("(ab)*")
+        oracle = LanguageOracle(tree)
+        b = tree.positions_by_symbol("b")[0]
+        assert labels(tree, oracle.follow(b)) == ["$", "a"]
+
+    def test_start_sentinel_follows_into_first(self):
+        tree = build_parse_tree("a?b")
+        oracle = LanguageOracle(tree)
+        assert labels(tree, oracle.follow(tree.start)) == ["a", "b"]
+
+    def test_end_follows_last_positions(self):
+        tree = build_parse_tree("ab?")
+        oracle = LanguageOracle(tree)
+        a = tree.positions_by_symbol("a")[0]
+        assert tree.end.position_index in oracle.follow(a)
+
+    def test_follow_by_symbol_grouping(self):
+        tree = build_parse_tree("(a*ba+bb)*")
+        oracle = LanguageOracle(tree)
+        grouped = oracle.follow_by_symbol(tree.positions[3])
+        assert set(grouped) == {"a", "b", "$"}  # q3 is a last position, so $ follows too
+        assert grouped["b"] == [2, 4]
+
+
+class TestDeterminismDefinition:
+    def test_e1_is_deterministic(self):
+        assert LanguageOracle(build_parse_tree("(ab+b(b?)a)*")).is_deterministic()
+
+    def test_e2_is_not_deterministic(self):
+        oracle = LanguageOracle(build_parse_tree("(a*ba+bb)*"))
+        assert not oracle.is_deterministic()
+        conflict = oracle.first_conflict()
+        assert conflict is not None
+        p, q1, q2 = conflict
+        assert q1 != q2
+        assert oracle.follows(p, q1) and oracle.follows(p, q2)
+
+    def test_ambiguous_ab_star_b(self):
+        """The introduction's example: ab*b is ambiguous (two b's follow a)."""
+        assert not LanguageOracle(build_parse_tree("ab*b")).is_deterministic()
+
+    def test_mixed_content_is_deterministic(self):
+        from repro.regex.generators import mixed_content
+
+        assert LanguageOracle(build_parse_tree(mixed_content(12))).is_deterministic()
+
+
+class TestMembership:
+    @pytest.mark.parametrize(
+        "text,word,expected",
+        [
+            ("(ab)*", "", True),
+            ("(ab)*", "ab", True),
+            ("(ab)*", "abab", True),
+            ("(ab)*", "aba", False),
+            ("(ab+b(b?)a)*", "abba", True),
+            ("(ab+b(b?)a)*", "bba", True),
+            ("(ab+b(b?)a)*", "bb", False),
+            ("a?bc*", "bc", True),
+            ("a?bc*", "abcc", True),
+            ("a?bc*", "ac", False),
+            ("ab*b", "ab", True),
+            ("ab*b", "abbbb", True),
+            ("ab*b", "a", False),
+        ],
+    )
+    def test_accepts(self, text, word, expected):
+        oracle = LanguageOracle(build_parse_tree(text))
+        assert oracle.accepts(list(word)) is expected
+
+    def test_unknown_symbol_rejected(self):
+        oracle = LanguageOracle(build_parse_tree("ab"))
+        assert not oracle.accepts(["a", "z"])
+
+    def test_agreement_with_thompson_nfa(self, rng):
+        from repro.automata.nfa import ThompsonNFA
+        from repro.regex.generators import random_expression
+        from repro.regex.words import mutate_word, sample_member
+
+        for _ in range(50):
+            expr = random_expression(rng, rng.randint(1, 8))
+            tree = build_parse_tree(expr)
+            oracle = LanguageOracle(tree)
+            nfa = ThompsonNFA(expr)
+            for _ in range(5):
+                word = sample_member(expr, rng)
+                assert oracle.accepts(word) and nfa.accepts(word)
+                garbled = mutate_word(word, list(tree.alphabet), rng)
+                assert oracle.accepts(garbled) == nfa.accepts(garbled)

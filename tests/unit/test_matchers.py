@@ -1,0 +1,256 @@
+"""Unit tests for the Section 4 matchers (shared behaviour + per-algorithm specifics)."""
+
+import pytest
+
+from repro.errors import NotDeterministicError
+from repro.matching import (
+    STRATEGIES,
+    ClimbingMatcher,
+    GlushkovMatcher,
+    KOccurrenceMatcher,
+    LowestColoredAncestorMatcher,
+    PathDecompositionMatcher,
+    StarFreeMultiMatcher,
+    SubsetKOccurrenceMatcher,
+    build_matcher,
+    select_strategy,
+)
+from repro.regex.generators import (
+    bounded_occurrence,
+    deep_alternation,
+    mixed_content,
+    star_free_chain,
+)
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.words import mutate_word, sample_member
+
+ALL_MATCHERS = [
+    ClimbingMatcher,
+    GlushkovMatcher,
+    KOccurrenceMatcher,
+    LowestColoredAncestorMatcher,
+    PathDecompositionMatcher,
+]
+
+
+@pytest.fixture(params=ALL_MATCHERS, ids=lambda cls: cls.name)
+def matcher_class(request):
+    return request.param
+
+
+class TestSharedBehaviour:
+    E1 = "(ab+b(b?)a)*"
+
+    def test_accepts_paper_example_words(self, matcher_class):
+        matcher = matcher_class(self.E1)
+        assert matcher.accepts(list("abba"))
+        assert matcher.accepts(list("bba"))
+        assert matcher.accepts([])
+        assert not matcher.accepts(list("bb"))
+        assert not matcher.accepts(list("abz"))
+
+    def test_rejects_non_deterministic_expressions(self, matcher_class):
+        with pytest.raises(NotDeterministicError):
+            matcher_class("(a*ba+bb)*")
+
+    def test_verification_can_be_skipped(self, matcher_class):
+        matcher = matcher_class("ab", verify=False)
+        assert matcher.accepts(["a", "b"])
+
+    def test_trace_starts_at_the_start_sentinel(self, matcher_class):
+        matcher = matcher_class("abc")
+        trace = matcher.trace(list("ab"))
+        assert trace[0] is matcher.tree.start
+        assert [node.symbol for node in trace[1:]] == ["a", "b"]
+
+    def test_streaming_run(self, matcher_class):
+        matcher = matcher_class(self.E1)
+        run = matcher.start()
+        assert run.is_accepting()  # the empty word is in L(e1)
+        assert run.feed("a")
+        assert not run.is_accepting()
+        assert run.feed("b")
+        assert run.is_accepting()
+        assert not run.feed("z")
+        assert not run.is_accepting()
+        assert not run.feed("a")  # dead runs stay dead
+
+    def test_feed_all(self, matcher_class):
+        matcher = matcher_class(self.E1)
+        run = matcher.start()
+        assert run.feed_all(list("abab"))
+        assert run.consumed == 4
+
+    def test_agreement_with_oracle_on_random_words(self, matcher_class, rng):
+        from repro.regex.generators import random_deterministic_expression
+
+        for _ in range(20):
+            expr = random_deterministic_expression(rng, rng.randint(1, 8))
+            tree = build_parse_tree(expr)
+            oracle = LanguageOracle(tree)
+            matcher = matcher_class(tree, verify=False)
+            for _ in range(6):
+                word = sample_member(expr, rng)
+                assert matcher.accepts(word)
+                other = mutate_word(word, list(tree.alphabet), rng)
+                assert matcher.accepts(other) == oracle.accepts(other)
+
+    def test_rejects_checker_for_another_tree(self, matcher_class):
+        from repro.core.determinism import DeterminismChecker
+
+        other = DeterminismChecker(build_parse_tree("xy"))
+        with pytest.raises(ValueError):
+            matcher_class("ab", checker=other)
+
+
+class TestKOccurrenceSpecifics:
+    def test_occurrence_bound_reported(self):
+        matcher = KOccurrenceMatcher("(ab+b(b?)a)*")
+        assert matcher.occurrence_bound == 3
+
+    def test_subset_variant_handles_non_deterministic_expressions(self):
+        matcher = SubsetKOccurrenceMatcher("(a*ba+bb)*")
+        assert matcher.accepts(list("bb"))
+        assert matcher.accepts(list("aba"))
+        assert matcher.accepts(list("ababb"))
+        assert not matcher.accepts(list("ab"))
+
+    def test_subset_variant_agrees_with_oracle(self, rng):
+        from repro.regex.generators import random_expression
+
+        for _ in range(30):
+            expr = random_expression(rng, rng.randint(1, 8))
+            tree = build_parse_tree(expr)
+            oracle = LanguageOracle(tree)
+            matcher = SubsetKOccurrenceMatcher(tree)
+            for _ in range(4):
+                word = sample_member(expr, rng)
+                assert matcher.accepts(word)
+                other = mutate_word(word, list(tree.alphabet), rng)
+                assert matcher.accepts(other) == oracle.accepts(other)
+
+
+class TestPathDecompositionSpecifics:
+    def test_top_of_figure_style_positions(self):
+        matcher = PathDecompositionMatcher("(ab)c")
+        for position in matcher.tree.positions[1:-1]:
+            top = matcher.top(position)
+            assert top is not None
+
+    def test_h_is_collision_free_for_deterministic_expressions(self, rng):
+        """Lemma 4.5: positions sharing their top node have distinct labels."""
+        from repro.regex.generators import random_deterministic_expression
+
+        for _ in range(30):
+            tree = build_parse_tree(random_deterministic_expression(rng, rng.randint(1, 9)))
+            matcher = PathDecompositionMatcher(tree, verify=False)
+            seen = {}
+            for position in tree.positions:
+                head = matcher.top(position)
+                if head is None:
+                    continue
+                key = (head.index, position.symbol)
+                assert key not in seen, "h aggregation collision"
+                seen[key] = position
+
+    def test_nexttop_is_a_strict_ancestor(self):
+        matcher = PathDecompositionMatcher("(a(b?c))*d")
+        for node in matcher.tree.nodes:
+            target = matcher.nexttop(node)
+            if target is not None:
+                assert target.is_strict_ancestor_of(node)
+
+    def test_jump_count_is_bounded_by_alternation_depth(self, rng):
+        """Lemma 4.9: amortised jumps per symbol are O(c_e)."""
+        from repro.regex.properties import alternation_depth
+        from repro.regex.words import member_stream
+
+        expr = deep_alternation(6)
+        tree = build_parse_tree(expr)
+        matcher = PathDecompositionMatcher(tree, verify=False)
+        depth = alternation_depth(tree)
+        word = member_stream(expr, 50, rng)
+        matcher.reset_jump_count()
+        assert matcher.accepts(word)
+        if word:
+            assert matcher.jump_count / len(word) <= depth + 6
+
+    def test_head_count_positive(self):
+        matcher = PathDecompositionMatcher("(ab+c)*")
+        assert matcher.head_count() >= 1
+
+
+class TestStarFreeSpecifics:
+    def test_requires_star_free_expression(self):
+        with pytest.raises(ValueError):
+            StarFreeMultiMatcher("(ab)*")
+
+    def test_requires_deterministic_expression(self):
+        with pytest.raises(NotDeterministicError):
+            StarFreeMultiMatcher("a?a")
+
+    def test_matches_many_words_in_one_pass(self, rng):
+        expr = star_free_chain(6)
+        tree = build_parse_tree(expr)
+        oracle = LanguageOracle(tree)
+        matcher = StarFreeMultiMatcher(tree, verify=False)
+        words = [sample_member(expr, rng) for _ in range(30)]
+        words += [mutate_word(w, list(tree.alphabet), rng) for w in words[:15]]
+        words.append([])
+        expected = [oracle.accepts(word) for word in words]
+        assert matcher.match_all(words) == expected
+
+    def test_empty_word_handling(self):
+        matcher = StarFreeMultiMatcher("a?")
+        assert matcher.match_all([[], ["a"], ["a", "a"]]) == [True, True, False]
+
+    def test_examined_entries_stay_linear(self, rng):
+        expr = star_free_chain(20)
+        matcher = StarFreeMultiMatcher(expr, verify=False)
+        words = [sample_member(expr, rng) for _ in range(50)]
+        matcher.match_all(words)
+        total_symbols = sum(len(word) for word in words) + len(words)
+        assert matcher.examined_entries <= 3 * total_symbols
+
+    def test_paper_example_4_11(self):
+        """Example 4.11: e = (a+ba)(c?)(d?b) with words bcdb, acdba, acb, bada."""
+        matcher = StarFreeMultiMatcher("((a+ba)(c?))((d?)b)")
+        words = [list("bcdb"), list("acdba"), list("acb"), list("bada")]
+        assert matcher.match_all(words) == [False, False, True, False]
+
+
+class TestDispatch:
+    def test_small_occurrence_bound_prefers_kore(self):
+        assert select_strategy(build_parse_tree("(ab+b(b?)a)*")) == KOccurrenceMatcher.name
+
+    def test_large_alphabet_repeated_symbols_prefers_path_decomposition(self):
+        expr = bounded_occurrence(6, 3)
+        assert select_strategy(build_parse_tree(expr)) == PathDecompositionMatcher.name
+
+    def test_build_matcher_auto(self):
+        matcher = build_matcher("(ab)*")
+        assert matcher.accepts(list("abab"))
+
+    def test_build_matcher_explicit_strategy(self):
+        for name in STRATEGIES:
+            matcher = build_matcher("(ab)*c", strategy=name)
+            assert matcher.name == name
+            assert matcher.accepts(list("ababc"))
+
+    def test_build_matcher_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            build_matcher("ab", strategy="quantum")
+
+    def test_all_strategies_agree_on_mixed_content(self, rng):
+        expr = mixed_content(10)
+        tree = build_parse_tree(expr)
+        oracle = LanguageOracle(tree)
+        matchers = [build_matcher(tree, strategy=name, verify=False) for name in STRATEGIES]
+        for _ in range(10):
+            word = sample_member(expr, rng)
+            garbled = mutate_word(word, list(tree.alphabet), rng)
+            for target in (word, garbled):
+                expected = oracle.accepts(target)
+                for matcher in matchers:
+                    assert matcher.accepts(target) == expected

@@ -1,0 +1,170 @@
+"""Unit tests for the annotated parse tree (R1 wrapping, pointers, numbering)."""
+
+import pytest
+
+from repro.errors import InvalidExpressionError
+from repro.regex.alphabet import END_SENTINEL, START_SENTINEL
+from repro.regex.ast import Epsilon, Sym, concat, star, sym, union
+from repro.regex.parse_tree import NodeKind, build_parse_tree, tree_from_text
+
+
+class TestStructure:
+    def test_r1_wrapping(self):
+        tree = build_parse_tree("a")
+        assert tree.root.kind is NodeKind.CONCAT
+        assert tree.positions[0].symbol == START_SENTINEL
+        assert tree.positions[-1].symbol == END_SENTINEL
+        assert tree.start is tree.positions[0]
+        assert tree.end is tree.positions[-1]
+
+    def test_positions_are_in_document_order(self):
+        tree = build_parse_tree("(ab+b(b?)a)*")
+        inner = [p.symbol for p in tree.positions[1:-1]]
+        assert inner == ["a", "b", "b", "b", "a"]
+
+    def test_position_indices_are_consecutive(self):
+        tree = build_parse_tree("(ab+c)*d")
+        assert [p.position_index for p in tree.positions] == list(range(len(tree.positions)))
+
+    def test_node_indices_match_list(self):
+        tree = build_parse_tree("(a+b)c*")
+        for index, node in enumerate(tree.nodes):
+            assert node.index == index
+
+    def test_alphabet_excludes_sentinels(self):
+        tree = build_parse_tree("ab+a")
+        assert sorted(tree.alphabet) == ["a", "b"]
+
+    def test_size_is_linear_in_positions(self):
+        # Restrictions (R2)/(R3) guarantee |e| = O(|Pos(e)|).
+        tree = build_parse_tree("((a?)*)*b")
+        assert tree.size <= 4 * tree.num_positions
+
+    def test_empty_expression(self):
+        tree = build_parse_tree(Epsilon())
+        assert tree.inner_root is None
+        assert [p.symbol for p in tree.positions] == [START_SENTINEL, END_SENTINEL]
+
+    def test_sentinel_symbols_rejected_in_user_expressions(self):
+        with pytest.raises(InvalidExpressionError):
+            build_parse_tree(Sym("#"))
+
+    def test_positions_by_symbol(self):
+        tree = build_parse_tree("aba")
+        assert [p.position_index for p in tree.positions_by_symbol("a")] == [1, 3]
+        assert tree.positions_by_symbol("z") == []
+
+    def test_occurrence_count(self):
+        assert build_parse_tree("aba").occurrence_count() == 2
+        assert build_parse_tree("abc").occurrence_count() == 1
+
+    def test_named_dialect_entry_point(self):
+        tree = build_parse_tree("title author+", dialect="named")
+        assert "title" in tree.alphabet and "author" in tree.alphabet
+
+
+class TestAncestorsAndDepth:
+    def test_ancestor_test_is_reflexive(self):
+        tree = build_parse_tree("ab*")
+        for node in tree.nodes:
+            assert node.is_ancestor_of(node)
+            assert not node.is_strict_ancestor_of(node)
+
+    def test_ancestor_test_matches_parent_chain(self):
+        tree = build_parse_tree("(a+b)*(c?d)")
+        for node in tree.nodes:
+            walker = node
+            ancestors = set()
+            while walker is not None:
+                ancestors.add(walker.index)
+                walker = walker.parent
+            for other in tree.nodes:
+                assert other.is_ancestor_of(node) == (other.index in ancestors)
+
+    def test_depths_increase_by_one(self):
+        tree = build_parse_tree("(ab+c)*")
+        for node in tree.nodes:
+            if node.parent is not None:
+                assert node.depth == node.parent.depth + 1
+
+    def test_lca_naive(self):
+        tree = build_parse_tree("(ab)(cd)")
+        a = tree.positions_by_symbol("a")[0]
+        b = tree.positions_by_symbol("b")[0]
+        d = tree.positions_by_symbol("d")[0]
+        assert tree.lca_naive(a, b).kind is NodeKind.CONCAT
+        assert tree.lca_naive(a, a) is a
+        assert tree.lca_naive(a, d).is_ancestor_of(b)
+
+
+class TestAnnotations:
+    def test_nullability(self):
+        tree = build_parse_tree("a*b?")
+        star_node = next(n for n in tree.nodes if n.kind is NodeKind.STAR)
+        optional_node = next(n for n in tree.nodes if n.kind is NodeKind.OPTIONAL)
+        assert star_node.nullable and optional_node.nullable
+        assert tree.inner_root.nullable  # a*b? is nullable
+        assert not tree.root.nullable  # the sentinels are not
+
+    def test_sup_first_flag(self):
+        # In ab, the b position is a SupFirst node (right child of a concat
+        # whose left sibling a is non-nullable).
+        tree = build_parse_tree("ab")
+        b = tree.positions_by_symbol("b")[0]
+        a = tree.positions_by_symbol("a")[0]
+        assert b.sup_first
+        assert a.sup_last
+        assert not a.sup_first
+
+    def test_sup_first_not_set_for_nullable_left_sibling(self):
+        tree = build_parse_tree("a?b")
+        b = tree.positions_by_symbol("b")[0]
+        assert not b.sup_first
+
+    def test_p_sup_first_points_to_lowest_flagged_ancestor(self):
+        tree = build_parse_tree("ab")
+        b = tree.positions_by_symbol("b")[0]
+        assert b.p_sup_first is b
+        a = tree.positions_by_symbol("a")[0]
+        # a has no SupFirst ancestor below the wrapper: it is in First(e').
+        assert a.p_sup_first is not None
+        assert a.p_sup_first.is_ancestor_of(a)
+
+    def test_start_sentinel_has_no_sup_first(self):
+        tree = build_parse_tree("ab")
+        assert tree.start.p_sup_first is None
+        assert tree.end.p_sup_last is None
+
+    def test_every_inner_position_has_both_pointers(self):
+        tree = build_parse_tree("(c?((ab*)(a?c)))*(ba)")
+        for position in tree.positions[1:-1]:
+            assert position.p_sup_first is not None
+            assert position.p_sup_last is not None
+
+    def test_p_star_points_to_lowest_iteration(self):
+        tree = build_parse_tree("(ab*)*")
+        b = tree.positions_by_symbol("b")[0]
+        inner_star = b.parent
+        assert inner_star.kind is NodeKind.STAR
+        assert b.p_star is inner_star
+        a = tree.positions_by_symbol("a")[0]
+        outer_star = a.p_star
+        assert outer_star.kind is NodeKind.STAR
+        assert outer_star.is_strict_ancestor_of(inner_star)
+
+    def test_p_star_is_none_for_star_free(self):
+        tree = build_parse_tree("ab?c")
+        for position in tree.positions:
+            assert position.p_star is None
+
+    def test_figure1_top_level_flags(self):
+        """In Figure 1's expression the first factor ``(c?((ab*)(a?c)))*`` is a
+        SupLast node (its right sibling ``(ba)`` is non-nullable) while the
+        ``(ba)`` factor is *not* SupFirst (its left sibling, the star, is
+        nullable)."""
+        tree = build_parse_tree("(c?((ab*)(a?c)))*(ba)")
+        inner = tree.inner_root
+        assert inner.kind is NodeKind.CONCAT
+        assert inner.left.kind is NodeKind.STAR
+        assert inner.left.sup_last
+        assert not inner.right.sup_first

@@ -1,0 +1,92 @@
+"""Unit tests for rendering ASTs back to text."""
+
+import pytest
+
+from repro.regex.ast import Concat, Optional, Plus, Repeat, Star, Sym, Union
+from repro.regex.parser import parse
+from repro.regex.printer import paper_style_applicable, to_text
+
+
+class TestPaperStyle:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "ab",
+            "a+b",
+            "ab+c",
+            "(a+b)c",
+            "a*",
+            "a?b",
+            "(ab+b(b?)a)*",
+            "(c?((ab*)(a?c)))*(ba)",
+            "(a+b)*(c+d)?",
+            "a{2,3}b",
+            "a{2,}",
+            "a{4}",
+        ],
+    )
+    def test_round_trip(self, text):
+        expr = parse(text)
+        assert parse(to_text(expr, dialect="paper")) == expr
+
+    def test_left_nested_concat_needs_parentheses(self):
+        expr = Concat(Concat(Sym("a"), Sym("b")), Sym("c"))
+        rendered = to_text(expr, dialect="paper")
+        assert rendered == "(ab)c"
+        assert parse(rendered) == expr
+
+    def test_left_nested_union_needs_parentheses(self):
+        expr = Union(Union(Sym("a"), Sym("b")), Sym("c"))
+        rendered = to_text(expr, dialect="paper")
+        assert rendered == "(a+b)+c"
+        assert parse(rendered) == expr
+
+    def test_chained_postfix_operators(self):
+        expr = Optional(Star(Sym("a")))
+        rendered = to_text(expr, dialect="paper")
+        assert rendered == "(a*)?"
+        assert parse(rendered) == expr
+
+
+class TestNamedStyle:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "title author",
+            "title (author | editor)+ year?",
+            "section+",
+            "item{2,5} note?",
+        ],
+    )
+    def test_round_trip(self, text):
+        expr = parse(text, dialect="named")
+        assert parse(to_text(expr, dialect="named"), dialect="named") == expr
+
+    def test_plus_rendering(self):
+        assert to_text(Plus(Sym("author")), dialect="named") == "author+"
+
+    def test_repeat_rendering(self):
+        assert to_text(Repeat(Sym("item"), 2, None), dialect="named") == "item{2,}"
+        assert to_text(Repeat(Sym("item"), 3, 3), dialect="named") == "item{3}"
+
+
+class TestAutoStyle:
+    def test_auto_picks_paper_for_single_characters(self):
+        assert to_text(parse("ab+c")) == "ab+c"
+
+    def test_auto_picks_named_for_identifiers(self):
+        expr = parse("title author", dialect="named")
+        assert to_text(expr) == "title author"
+
+    def test_paper_style_applicable(self):
+        assert paper_style_applicable(parse("ab*"))
+        assert not paper_style_applicable(parse("title", dialect="named"))
+        assert not paper_style_applicable(Plus(Sym("a")))
+
+    def test_str_uses_auto_style(self):
+        assert str(parse("(a+b)*")) == "(a+b)*"
+
+    def test_unknown_dialect_raises(self):
+        with pytest.raises(ValueError):
+            to_text(Sym("a"), dialect="fancy")

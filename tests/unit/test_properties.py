@@ -1,0 +1,137 @@
+"""Unit tests for the structural classifiers (k-ORE, CHARE, star-free, c_e)."""
+
+import pytest
+
+from repro.regex.generators import (
+    bounded_occurrence,
+    chare,
+    deep_alternation,
+    mixed_content,
+    star_free_chain,
+)
+from repro.regex.parser import parse
+from repro.regex.properties import (
+    alternation_depth,
+    classify,
+    is_chare,
+    is_k_occurrence,
+    is_one_ore,
+    is_simple,
+    is_star_free,
+    occurrence_bound,
+    plus_depth_refined,
+    symbol_occurrences,
+)
+
+
+class TestOccurrenceCounts:
+    def test_symbol_occurrences(self):
+        counts = symbol_occurrences(parse("(ab+b(b?)a)*"))
+        assert counts == {"a": 2, "b": 3}
+
+    def test_occurrence_bound(self):
+        assert occurrence_bound(parse("(ab+b(b?)a)*")) == 3
+        assert occurrence_bound(parse("abc")) == 1
+
+    def test_is_k_occurrence(self):
+        assert is_k_occurrence(parse("aba"), 2)
+        assert not is_k_occurrence(parse("aba"), 1)
+
+    def test_one_ore(self):
+        assert is_one_ore(parse("a(b+c)*d?"))
+        assert not is_one_ore(parse("aa"))
+
+    def test_bounded_occurrence_family_has_exact_bound(self):
+        assert occurrence_bound(bounded_occurrence(3, 4)) == 3
+
+    def test_counts_work_on_parse_trees_and_text(self):
+        assert occurrence_bound("aab") == 2
+        from repro.regex.parse_tree import build_parse_tree
+
+        assert occurrence_bound(build_parse_tree("aab")) == 2
+
+
+class TestStarFree:
+    def test_star_free_expressions(self):
+        assert is_star_free(parse("a?b(c+d)"))
+        assert is_star_free(star_free_chain(6))
+
+    def test_starred_expressions(self):
+        assert not is_star_free(parse("ab*"))
+        assert not is_star_free(mixed_content(3))
+
+
+class TestAlternationDepth:
+    def test_single_symbol(self):
+        assert alternation_depth(parse("a")) == 0
+
+    def test_flat_union(self):
+        assert alternation_depth(parse("a+b+c")) == 1
+
+    def test_flat_concat(self):
+        assert alternation_depth(parse("abc")) == 1
+
+    def test_union_of_concats(self):
+        assert alternation_depth(parse("ab+cd")) == 2
+
+    def test_concat_of_unions(self):
+        assert alternation_depth(parse("(a+b)(c+d)")) == 2
+
+    def test_four_levels(self):
+        # union over concat over union over concat on the path to b
+        assert alternation_depth(parse("((a+bc)d)+e")) == 4
+
+    def test_stars_do_not_count(self):
+        assert alternation_depth(parse("(a+b)*")) == 1
+
+    def test_deep_alternation_family_grows(self):
+        depths = [alternation_depth(deep_alternation(i)) for i in (1, 3, 5)]
+        assert depths == sorted(depths)
+        assert depths[-1] > depths[0]
+
+    def test_refined_bound_is_at_most_alternation_depth(self):
+        for text in ["a", "ab+cd", "((a+bc)d)+e", "(a+b)(c+d)e*"]:
+            assert plus_depth_refined(parse(text)) <= alternation_depth(parse(text))
+
+    def test_chare_has_small_alternation_depth(self):
+        assert alternation_depth(chare(8)) <= 2
+
+
+class TestLiteratureClasses:
+    def test_chare_family_is_chare(self):
+        assert is_chare(chare(5))
+
+    def test_chare_requires_single_occurrence(self):
+        assert not is_chare(parse("(a+b)a"))
+
+    def test_chare_requires_symbol_factors(self):
+        assert not is_chare(parse("(ab+c)d"))
+
+    def test_simple_allows_decorated_symbols_in_factors(self):
+        expr = parse("(a*+b?)c", dialect="paper")
+        assert is_simple(expr)
+        assert not is_chare(expr)
+
+    def test_simple_rejects_nested_factors(self):
+        assert not is_simple(parse("((ab)+c)d"))
+
+    def test_mixed_content_is_simple_but_not_chare_due_to_star(self):
+        # (a0+a1+a2)* : a single starred factor of distinct symbols is a CHARE.
+        assert is_chare(mixed_content(3))
+        assert is_simple(mixed_content(3))
+
+
+class TestClassify:
+    def test_classify_summary_fields(self):
+        summary = classify("(ab+b(b?)a)*")
+        assert summary["positions"] == 5
+        assert summary["alphabet_size"] == 2
+        assert summary["occurrence_bound"] == 3
+        assert summary["star_free"] is False
+        assert summary["one_ore"] is False
+        assert summary["has_numeric"] is False
+        assert summary["alternation_depth"] >= 2
+
+    def test_classify_accepts_ast(self):
+        summary = classify(chare(3))
+        assert summary["chare"] is True

@@ -1,0 +1,177 @@
+"""Unit tests for word sampling/enumeration and the expression generators."""
+
+import random
+
+import pytest
+
+from repro.regex.generators import (
+    bounded_occurrence,
+    chare,
+    deep_alternation,
+    dtd_corpus,
+    dtd_like,
+    mixed_content,
+    numeric_particles,
+    random_deterministic_expression,
+    random_expression,
+    random_one_ore,
+    star_free_chain,
+)
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.parser import parse
+from repro.regex.properties import (
+    alternation_depth,
+    is_chare,
+    is_one_ore,
+    is_star_free,
+    occurrence_bound,
+)
+from repro.regex.words import (
+    enumerate_members,
+    member_stream,
+    mutate_word,
+    non_members,
+    sample_member,
+    sample_members,
+)
+
+
+class TestSampling:
+    def test_samples_are_members(self, rng):
+        expr = parse("(ab+b(b?)a)*")
+        oracle = LanguageOracle(build_parse_tree(expr))
+        for word in sample_members(expr, 50, rng):
+            assert oracle.accepts(word)
+
+    def test_samples_cover_both_union_branches(self, rng):
+        expr = parse("ab+cd")
+        words = {tuple(w) for w in sample_members(expr, 60, rng)}
+        assert ("a", "b") in words and ("c", "d") in words
+
+    def test_plus_always_produces_at_least_one_iteration(self, rng):
+        expr = parse("item+", dialect="named")
+        for word in sample_members(expr, 30, rng):
+            assert len(word) >= 1
+
+    def test_numeric_repetition_respects_bounds(self, rng):
+        expr = parse("a{2,4}")
+        for word in sample_members(expr, 30, rng):
+            assert 2 <= len(word) <= 4
+
+
+class TestEnumeration:
+    def test_enumerate_small_language(self):
+        words = {tuple(w) for w in enumerate_members(parse("a?b"), 3)}
+        assert words == {("b",), ("a", "b")}
+
+    def test_enumerate_respects_length_bound(self):
+        words = enumerate_members(parse("a*"), 3)
+        assert {tuple(w) for w in words} == {(), ("a",), ("a", "a"), ("a", "a", "a")}
+
+    def test_enumerate_with_word_cap(self):
+        words = enumerate_members(parse("(a+b)*"), 4, max_words=5)
+        assert len(words) == 5
+
+    def test_enumeration_matches_oracle(self, rng):
+        expr = random_expression(rng, 5)
+        oracle = LanguageOracle(build_parse_tree(expr))
+        for word in enumerate_members(expr, 4):
+            assert oracle.accepts(word)
+
+
+class TestStreamsAndNonMembers:
+    def test_member_stream_reaches_target_length(self, rng):
+        expr = mixed_content(5)
+        word = member_stream(expr, 200, rng)
+        assert len(word) >= 200
+
+    def test_member_stream_for_star_free_is_member(self, rng):
+        expr = star_free_chain(6)
+        word = member_stream(expr, 50, rng)
+        assert LanguageOracle(build_parse_tree(expr)).accepts(word)
+
+    def test_non_members_are_rejected(self, rng):
+        expr = parse("(ab)*c")
+        oracle = LanguageOracle(build_parse_tree(expr))
+        rejected = non_members(expr, 10, rng)
+        assert rejected
+        for word in rejected:
+            assert not oracle.accepts(word)
+
+    def test_mutate_word_changes_something_or_stays_word(self, rng):
+        word = ["a", "b", "c"]
+        mutated = mutate_word(word, ["a", "b", "c"], rng)
+        assert isinstance(mutated, list)
+
+    def test_mutate_empty_word_inserts(self, rng):
+        assert mutate_word([], ["a"], rng) == ["a"]
+
+
+class TestFamilies:
+    def test_mixed_content_shape(self):
+        expr = mixed_content(10)
+        assert is_one_ore(expr)
+        assert occurrence_bound(expr) == 1
+        assert len(expr.symbols()) == 10
+
+    def test_mixed_content_requires_a_symbol(self):
+        with pytest.raises(ValueError):
+            mixed_content(0)
+
+    def test_chare_is_chare_and_deterministic(self):
+        expr = chare(6)
+        assert is_chare(expr)
+        assert LanguageOracle(build_parse_tree(expr)).is_deterministic()
+
+    def test_deep_alternation_is_deterministic_with_growing_depth(self):
+        expr = deep_alternation(6)
+        assert LanguageOracle(build_parse_tree(expr)).is_deterministic()
+        assert alternation_depth(expr) >= 6
+
+    def test_bounded_occurrence_is_deterministic(self):
+        for k in (1, 2, 4):
+            expr = bounded_occurrence(k, 3)
+            assert occurrence_bound(expr) == k
+            assert LanguageOracle(build_parse_tree(expr)).is_deterministic()
+
+    def test_bounded_occurrence_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            bounded_occurrence(0, 2)
+
+    def test_star_free_chain_is_star_free_and_deterministic(self):
+        expr = star_free_chain(8)
+        assert is_star_free(expr)
+        assert LanguageOracle(build_parse_tree(expr)).is_deterministic()
+
+    def test_numeric_particles_have_numeric_nodes(self):
+        expr = numeric_particles(3)
+        assert expr.has_numeric_occurrences()
+
+    def test_random_one_ore_is_deterministic(self, rng):
+        for _ in range(20):
+            expr = random_one_ore(rng, rng.randint(1, 12))
+            assert is_one_ore(expr)
+            assert LanguageOracle(build_parse_tree(expr)).is_deterministic()
+
+    def test_random_deterministic_expression_is_deterministic(self, rng):
+        for _ in range(10):
+            expr = random_deterministic_expression(rng, 6)
+            assert LanguageOracle(build_parse_tree(expr)).is_deterministic()
+
+    def test_random_expression_has_requested_leaf_count(self, rng):
+        expr = random_expression(rng, 9)
+        assert len(expr.positions()) == 9
+
+    def test_random_expression_rejects_zero_leaves(self, rng):
+        with pytest.raises(ValueError):
+            random_expression(rng, 0)
+
+    def test_dtd_like_models_are_mostly_chares(self, rng):
+        corpus = dtd_corpus(rng, 200)
+        chare_fraction = sum(1 for model in corpus if is_chare(model)) / len(corpus)
+        assert chare_fraction > 0.75
+
+    def test_dtd_like_alternation_depth_is_small(self, rng):
+        for _ in range(100):
+            assert alternation_depth(dtd_like(rng)) <= 4
