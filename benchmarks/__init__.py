@@ -1,0 +1,8 @@
+"""Benchmark package marker.
+
+The bench modules import their shared workloads with a package-relative
+import (``from .workloads import ...``); without this file pytest imports
+them as top-level modules and the relative import fails, so ``pytest
+benchmarks`` could never collect.  Keeping them a package also lets the CI
+smoke job run them with ``--benchmark-disable`` as plain correctness tests.
+"""

@@ -1,0 +1,144 @@
+"""Compiled lazy-DFA runtime vs. the direct matcher path.
+
+The paper gives (near-)constant work per input symbol, but the direct path
+pays Python-level structure queries for every symbol; the compiled runtime
+(:mod:`repro.matching.runtime`) memoizes ``(state, symbol) → state`` rows
+on first use and replays them as integer probes.  This module tracks that
+gap:
+
+* pytest-benchmark timings of repeated batch matching through both paths
+  (stored in ``BENCH_*.json`` by the CI bench job);
+* a verdict-equivalence check across every registered strategy (the
+  runtime may never change an accept/reject answer);
+* a throughput smoke assertion — compiled ≥ 3× direct on repeated matching
+  of the shared corpora — so regressions in the hot loop fail loudly even
+  when timings are not being collected.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.matching import STRATEGIES, CompiledRuntime, build_matcher
+
+from .workloads import runtime_corpus
+
+#: How many times the whole corpus is re-matched in the timed sections.
+#: "Repeated matching" is the scenario the runtime exists for: the first
+#: pass materializes rows, the rest replay them (the Li et al. workload).
+REPEATS = 5
+
+CORPUS_NAMES = ("mixed-content", "chare", "kore", "deep-alternation")
+
+
+def _corpus(name: str):
+    for corpus_name, tree, words in runtime_corpus():
+        if corpus_name == name:
+            return tree, words
+    raise KeyError(name)
+
+
+def _match_direct(matcher, words) -> list[bool]:
+    accepts = matcher.accepts
+    return [accepts(word) for word in words]
+
+
+def _match_compiled(runtime, words) -> list[bool]:
+    accepts_encoded = runtime.accepts_encoded
+    encode = runtime.encode
+    return [accepts_encoded(encode(word)) for word in words]
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark timings (enabled with --benchmark-enable)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", CORPUS_NAMES)
+def test_direct_matching(benchmark, name):
+    tree, words = _corpus(name)
+    matcher = build_matcher(tree, verify=False)
+    verdicts = benchmark(lambda: [_match_direct(matcher, words) for _ in range(REPEATS)])
+    assert len(verdicts[0]) == len(words)
+
+
+@pytest.mark.parametrize("name", CORPUS_NAMES)
+def test_compiled_matching(benchmark, name):
+    tree, words = _corpus(name)
+    runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    runtime.match_many(words)  # warm the rows: steady state is what we time
+    verdicts = benchmark(lambda: [_match_compiled(runtime, words) for _ in range(REPEATS)])
+    assert len(verdicts[0]) == len(words)
+
+
+@pytest.mark.parametrize("name", CORPUS_NAMES)
+def test_compiled_encoded_batch(benchmark, name):
+    """Upper bound: words pre-encoded once, only the integer loop timed."""
+    tree, words = _corpus(name)
+    runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    encoded = [runtime.encode(word) for word in words]
+    runtime.match_many(words)
+    accepts_encoded = runtime.accepts_encoded
+    verdicts = benchmark(
+        lambda: [[accepts_encoded(codes) for codes in encoded] for _ in range(REPEATS)]
+    )
+    assert len(verdicts[0]) == len(words)
+
+
+# ---------------------------------------------------------------------------
+# Correctness and throughput gates (run even with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_verdicts_identical_across_strategies():
+    """The runtime must agree with every strategy on every corpus word."""
+    for name, tree, words in runtime_corpus():
+        reference: list[bool] | None = None
+        for strategy, matcher_class in STRATEGIES.items():
+            matcher = matcher_class(tree, verify=False)
+            direct = _match_direct(matcher, words)
+            compiled = CompiledRuntime(matcher).match_many(words)
+            assert compiled == direct, f"{name}/{strategy}: runtime diverged"
+            if reference is None:
+                reference = direct
+            else:
+                assert direct == reference, f"{name}/{strategy}: strategies diverged"
+
+
+def _best_of(rounds: int, work) -> float:
+    """Minimum wall-clock over *rounds* runs (robust against CI descheduling)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_compiled_speedup_at_least_3x():
+    """Repeated matching through the runtime must be ≥ 3× the direct path.
+
+    Locally the gap is 4–12× per corpus; best-of-3 timing keeps the gate
+    from tripping on a descheduled shared CI runner rather than on a real
+    hot-loop regression.
+    """
+    direct_total = 0.0
+    compiled_total = 0.0
+    for name, tree, words in runtime_corpus():
+        matcher = build_matcher(tree, verify=False)
+        runtime = CompiledRuntime(matcher)
+        assert runtime.match_many(words) == _match_direct(matcher, words)  # warm + verify
+
+        def run_direct():
+            for _ in range(REPEATS):
+                _match_direct(matcher, words)
+
+        def run_compiled():
+            for _ in range(REPEATS):
+                _match_compiled(runtime, words)
+
+        direct_total += _best_of(3, run_direct)
+        compiled_total += _best_of(3, run_compiled)
+
+    speedup = direct_total / compiled_total
+    assert speedup >= 3.0, f"compiled runtime only {speedup:.2f}x over the direct path"

@@ -104,6 +104,38 @@ def numeric_workload(block_count: int):
 
 
 @lru_cache(maxsize=None)
+def runtime_corpus(word_count: int = 200, word_length: int = 60):
+    """Corpora for the compiled-runtime benchmark: (name, tree, words) triples.
+
+    One family per structural class the dispatch rule distinguishes, each
+    with a batch of member words plus mutated non-members, so compiled and
+    direct paths are compared on both accepting and rejecting traffic.
+    """
+    from repro.regex.words import mutate_word, sample_member
+
+    corpora = []
+    for name, expr in (
+        ("mixed-content", mixed_content(12)),
+        ("chare", chare(6)),
+        ("kore", bounded_occurrence(2, blocks=4)),
+        ("deep-alternation", deep_alternation(5)),
+    ):
+        tree = build_parse_tree(expr)
+        generator = rng()
+        alphabet = tree.alphabet.as_list()
+        words: list[tuple[str, ...]] = []
+        while len(words) < word_count:
+            member = sample_member(expr, generator)
+            while len(member) < word_length and name in ("mixed-content", "kore"):
+                member = member + sample_member(expr, generator)
+            words.append(tuple(member))
+            if len(words) < word_count:
+                words.append(tuple(mutate_word(member, alphabet, generator)))
+        corpora.append((name, tree, tuple(words[:word_count])))
+    return tuple(corpora)
+
+
+@lru_cache(maxsize=None)
 def validation_workload(product_count: int):
     """A catalog DTD plus a generated document with *product_count* products (E8)."""
     from repro.xml import element, parse_dtd

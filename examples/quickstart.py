@@ -43,6 +43,21 @@ def main() -> None:
     print("(ab){2}a(b+d) deterministic:", repro.is_deterministic("(ab){2}a(b+d)"))
     print("(ab){1,2}a    deterministic:", repro.is_deterministic("(ab){1,2}a"))
 
+    # --- batch matching on the compiled lazy-DFA runtime ----------------------------
+    # match_all encodes every word into integer symbol codes once and replays
+    # memoized (state, symbol) -> state rows; repeated traffic against one
+    # pattern only pays two array/dict probes per symbol.
+    words = ["abba", "bba", "bb", "abab", ""]
+    print("e1.match_all:", dict(zip(words, e1.match_all(words))))
+    print("lazy-DFA materialization:", e1.runtime.stats())
+
+    # --- the compile cache (re-style) ------------------------------------------------
+    # repro.compile is LRU-cached: recompiling the same content model (what a
+    # schema validator does millions of times) returns the same warm Pattern,
+    # memoized transition rows included.  repro.purge() drops the cache.
+    again = repro.compile("(ab+b(b?)a)*")
+    print("compile cache reuses pattern:", again is e1, repro.cache_stats())
+
     # --- structural summary ------------------------------------------------------------
     print("summary of e1:", e1.describe())
 

@@ -26,12 +26,14 @@ reproduction of the paper's complexity claims.
 
 from .api import (
     Pattern,
+    cache_stats,
     check_deterministic,
     check_deterministic_numeric,
     compile,  # noqa: A004 - mirrors re.compile
     is_deterministic,
     is_deterministic_numeric,
     match,
+    purge,  # noqa: A004 - mirrors re.purge
 )
 from .core.determinism import DeterminismConflict, DeterminismReport
 from .core.follow import FollowIndex
@@ -46,13 +48,14 @@ from .errors import (
     ValidationError,
     XMLSyntaxError,
 )
-from .matching import build_matcher
+from .matching import CompiledRuntime, build_matcher
 from .regex import Regex, build_parse_tree, parse, parse_word, to_text
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AlphabetError",
+    "CompiledRuntime",
     "DTDSyntaxError",
     "DeterminismConflict",
     "DeterminismReport",
@@ -69,6 +72,7 @@ __all__ = [
     "__version__",
     "build_matcher",
     "build_parse_tree",
+    "cache_stats",
     "check_deterministic",
     "check_deterministic_numeric",
     "compile",
@@ -77,5 +81,6 @@ __all__ = [
     "match",
     "parse",
     "parse_word",
+    "purge",
     "to_text",
 ]

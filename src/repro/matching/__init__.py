@@ -3,7 +3,10 @@
 Every matcher implements the same transition-simulation interface
 (:class:`~repro.matching.base.DeterministicMatcher`) and is therefore
 streamable; :func:`~repro.matching.dispatch.build_matcher` picks the
-appropriate algorithm for an expression automatically.
+appropriate algorithm for an expression automatically.  Any matcher can be
+lowered on the fly into the lazy-DFA integer runtime
+(:class:`~repro.matching.runtime.CompiledRuntime`), which memoizes
+``(state, symbol) → state`` transitions as they are exercised.
 """
 
 from .automaton import GlushkovMatcher
@@ -13,10 +16,14 @@ from .dispatch import STRATEGIES, build_matcher, select_strategy
 from .kore import KOccurrenceMatcher, SubsetKOccurrenceMatcher
 from .lca_matcher import LowestColoredAncestorMatcher
 from .path_decomposition import PathDecompositionMatcher
+from .runtime import CompiledRun, CompiledRuntime, compile_runtime
 from .star_free import StarFreeMultiMatcher
 
 __all__ = [
     "ClimbingMatcher",
+    "CompiledRun",
+    "CompiledRuntime",
+    "compile_runtime",
     "DeterministicMatcher",
     "GlushkovMatcher",
     "KOccurrenceMatcher",

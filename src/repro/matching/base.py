@@ -62,6 +62,8 @@ class DeterministicMatcher(ABC):
                     f"{report.describe()}",
                     report=report,
                 )
+        #: lazily attached CompiledRuntime (see :func:`repro.matching.runtime.compile_runtime`)
+        self._compiled_runtime = None
         self._prepare()
 
     # -- lazily shared preprocessing -------------------------------------------------
@@ -86,12 +88,28 @@ class DeterministicMatcher(ABC):
         return MatchRun(self)
 
     def accepts(self, word: Iterable[str]) -> bool:
-        """True when *word* belongs to the language of the expression."""
-        run = self.start()
+        """True when *word* belongs to the language of the expression.
+
+        Written as a tight loop over the transition simulation with the
+        bound method hoisted out — no per-symbol :class:`MatchRun`
+        bookkeeping — because this is the inner loop every benchmark and
+        every validated element pays.
+
+        A word containing the literal ``$`` character must die at that
+        symbol: the only ``$``-labelled position is the R1 end sentinel,
+        which is not part of the alphabet the language is defined over
+        (``#`` labels only the start position, which never follows
+        anything).  The guard keeps the direct path in lock-step with the
+        compiled runtime, whose encoder rejects sentinels by construction.
+        """
+        position = self.tree.start
+        end = self.tree.end
+        next_position = self.next_position
         for symbol in word:
-            if not run.feed(symbol):
+            position = next_position(position, symbol)
+            if position is None or position is end:
                 return False
-        return run.is_accepting()
+        return self.follow.accepts_at(position)
 
     def trace(self, word: Iterable[str]) -> list[TreeNode]:
         """The sequence of positions visited while reading *word*.
@@ -103,7 +121,7 @@ class DeterministicMatcher(ABC):
         visited = [position]
         for symbol in word:
             following = self.next_position(position, symbol)
-            if following is None:
+            if following is None or following is self.tree.end:
                 break
             position = following
             visited.append(position)
@@ -128,11 +146,16 @@ class MatchRun:
         self.consumed = 0
 
     def feed(self, symbol: str) -> bool:
-        """Consume one symbol; return True while the run is still alive."""
+        """Consume one symbol; return True while the run is still alive.
+
+        Feeding the literal ``$`` kills the run: its only position is the
+        R1 end sentinel, which is outside the user alphabet (see
+        :meth:`DeterministicMatcher.accepts`).
+        """
         if not self.alive:
             return False
         following = self.matcher.next_position(self.position, symbol)
-        if following is None:
+        if following is None or following is self.matcher.tree.end:
             self.alive = False
             return False
         self.position = following
@@ -140,10 +163,29 @@ class MatchRun:
         return True
 
     def feed_all(self, word: Iterable[str]) -> bool:
-        """Consume a whole word; return True while the run is still alive."""
+        """Consume a whole word; return True while the run is still alive.
+
+        Equivalent to ``feed`` in a loop but with the position, the counter
+        and the transition simulation hoisted into locals, so long words pay
+        one attribute flush instead of four attribute accesses per symbol.
+        """
+        if not self.alive:
+            return False
+        position = self.position
+        consumed = self.consumed
+        end = self.matcher.tree.end
+        next_position = self.matcher.next_position
         for symbol in word:
-            if not self.feed(symbol):
+            following = next_position(position, symbol)
+            if following is None or following is end:
+                self.position = position
+                self.consumed = consumed
+                self.alive = False
                 return False
+            position = following
+            consumed += 1
+        self.position = position
+        self.consumed = consumed
         return True
 
     def is_accepting(self) -> bool:

@@ -1,0 +1,250 @@
+"""A lazily compiled integer runtime over any Section-4 matcher.
+
+The paper's matchers answer *"which a-labelled position follows p?"* with
+clever O(1)-ish structure queries, but each query is still a handful of
+Python-level calls (LCA probe, ancestor tests, candidate scans).  For a
+*deterministic* expression the answer is a pure function of the pair
+``(p, a)`` — there is at most one a-labelled follower of ``p`` — so the
+whole matcher can be lowered on the fly into flat integer transition rows:
+the lazy-DFA idiom.  :class:`CompiledRuntime` does exactly that:
+
+* **states** are position indices (``TreeNode.position_index``), dense
+  integers assigned by the parse tree;
+* **symbols** are interned through the tree's :class:`~repro.regex.alphabet.Alphabet`
+  into dense integer codes, and words are encoded once per call/batch
+  instead of being re-split per symbol;
+* **transitions** ``(state, symbol_code) → state`` are memoized per state
+  in a dict row that is created on first visit and filled on first lookup
+  by delegating to the wrapped matcher's transition simulation.  Misses
+  (no follower) are memoized too, as :data:`DEAD`.
+
+Memory therefore stays proportional to the transitions actually
+exercised — never the O(|e|·|Σ|) Glushkov table — while steady-state
+matching is two array/dict probes per symbol.  Because the expression is
+deterministic, memoization can never change a verdict: the runtime and the
+wrapped matcher agree on every word by construction (the property tests
+check this against every registered strategy).
+
+The runtime preserves the streaming contract of the direct path:
+:meth:`CompiledRuntime.start` returns a :class:`CompiledRun` with the same
+``feed`` / ``feed_all`` / ``is_accepting`` / ``consumed`` surface as
+:class:`~repro.matching.base.MatchRun`, so the XML streaming checker and
+``Pattern.stream`` work unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..regex.alphabet import UNKNOWN_CODE
+from ..regex.parse_tree import TreeNode
+from .base import DeterministicMatcher
+
+#: Memoized "no transition" marker.  Any negative value works (valid states
+#: are non-negative position indices); sharing the encoder's UNKNOWN_CODE
+#: keeps the hot loop to a single ``< 0`` test for both kinds of rejection.
+DEAD = UNKNOWN_CODE
+
+
+class CompiledRuntime:
+    """Lazy-DFA execution of a wrapped :class:`DeterministicMatcher`.
+
+    The wrapped matcher is consulted only on the *first* lookup of each
+    ``(state, symbol)`` pair; after that the transition is a dict probe.
+    ``stats()`` exposes how much of the machine has been materialized,
+    which the cache-reuse tests and the benchmarks inspect.
+    """
+
+    __slots__ = (
+        "matcher",
+        "tree",
+        "alphabet",
+        "_codes",
+        "_symbols",
+        "_positions",
+        "_rows",
+        "_accepts",
+        "_start_state",
+        "misses",
+    )
+
+    def __init__(self, matcher: DeterministicMatcher):
+        self.matcher = matcher
+        self.tree = matcher.tree
+        self.alphabet = self.tree.alphabet
+        self._codes: dict[str, int] = self.alphabet.codes
+        self._symbols: list[str] = self.alphabet.as_list()
+        self._positions: list[TreeNode] = self.tree.positions
+        state_count = len(self._positions)
+        #: per-state transition rows, created lazily (None until first visit)
+        self._rows: list[dict[int, int] | None] = [None] * state_count
+        #: per-state acceptance verdict: -1 unknown, 0 reject, 1 accept
+        self._accepts: list[int] = [-1] * state_count
+        self._start_state: int = self.tree.start.position_index
+        #: number of delegations to the wrapped matcher so far (cache misses)
+        self.misses = 0
+
+    # -- encoding ----------------------------------------------------------------
+    def encode(self, word: Iterable[str]) -> list[int]:
+        """Intern *word* into symbol codes (unknown symbols become negative)."""
+        return self.alphabet.encode(word)
+
+    # -- the lazy transition function ---------------------------------------------
+    def _miss(self, state: int, code: int) -> int:
+        """First lookup of ``(state, code)``: delegate to the wrapped matcher."""
+        self.misses += 1
+        following = self.matcher.next_position(self._positions[state], self._symbols[code])
+        return DEAD if following is None else following.position_index
+
+    def step(self, state: int, code: int) -> int:
+        """One memoized transition; returns :data:`DEAD` (< 0) on rejection."""
+        if code < 0:
+            return DEAD
+        row = self._rows[state]
+        if row is None:
+            row = self._rows[state] = {}
+        target = row.get(code)
+        if target is None:
+            target = row[code] = self._miss(state, code)
+        return target
+
+    def state_accepts(self, state: int) -> bool:
+        """Memoized ``$ ∈ Follow(state)`` — may the word end in this state?"""
+        verdict = self._accepts[state]
+        if verdict < 0:
+            accepted = self.matcher.follow.accepts_at(self._positions[state])
+            verdict = self._accepts[state] = 1 if accepted else 0
+        return verdict == 1
+
+    # -- whole-word drivers ----------------------------------------------------------
+    def accepts_encoded(self, codes: Iterable[int]) -> bool:
+        """Membership test over an already-encoded word (the hot loop).
+
+        Everything the loop touches is hoisted into locals; per symbol the
+        steady state is one list index plus one dict probe.
+        """
+        state = self._start_state
+        rows = self._rows
+        for code in codes:
+            if code < 0:
+                return False
+            row = rows[state]
+            if row is None:
+                row = rows[state] = {}
+            target = row.get(code)
+            if target is None:
+                target = row[code] = self._miss(state, code)
+            if target < 0:
+                return False
+            state = target
+        return self.state_accepts(state)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Membership test over a word of symbols (encodes, then runs)."""
+        return self.accepts_encoded(self.encode(word))
+
+    def match_many(self, words: Iterable[Sequence[str]]) -> list[bool]:
+        """Batch membership: encode each word once, share all memoized rows."""
+        accepts_encoded = self.accepts_encoded
+        encode = self.encode
+        return [accepts_encoded(encode(word)) for word in words]
+
+    # -- streaming ---------------------------------------------------------------------
+    def start(self) -> "CompiledRun":
+        """Begin a streaming run (mirrors :meth:`DeterministicMatcher.start`)."""
+        return CompiledRun(self)
+
+    # -- introspection -------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """How much of the lazy DFA has been materialized so far."""
+        rows = [row for row in self._rows if row is not None]
+        return {
+            "states_visited": len(rows),
+            "transitions_memoized": sum(len(row) for row in rows),
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"CompiledRuntime({self.matcher.name}, "
+            f"states={stats['states_visited']}/{len(self._positions)}, "
+            f"transitions={stats['transitions_memoized']})"
+        )
+
+
+class CompiledRun:
+    """A streaming run over the compiled runtime.
+
+    Drop-in replacement for :class:`~repro.matching.base.MatchRun`: ``feed``
+    returns False once the run is dead and stays dead, ``is_accepting`` can
+    be consulted at any point, ``consumed`` counts accepted symbols.  The
+    ``position`` property maps the integer state back to its tree node so
+    diagnostic code written against the direct path keeps working.
+    """
+
+    __slots__ = ("runtime", "state", "alive", "consumed")
+
+    def __init__(self, runtime: CompiledRuntime):
+        self.runtime = runtime
+        self.state: int = runtime._start_state
+        self.alive = True
+        self.consumed = 0
+
+    @property
+    def position(self) -> TreeNode:
+        """The parse-tree position corresponding to the current state."""
+        return self.runtime._positions[self.state]
+
+    def feed(self, symbol: str) -> bool:
+        """Consume one symbol; return True while the run is still alive."""
+        if not self.alive:
+            return False
+        runtime = self.runtime
+        code = runtime._codes.get(symbol, UNKNOWN_CODE)
+        target = runtime.step(self.state, code)
+        if target < 0:
+            self.alive = False
+            return False
+        self.state = target
+        self.consumed += 1
+        return True
+
+    def feed_all(self, word: Iterable[str]) -> bool:
+        """Consume a whole word with the hoisted-locals loop."""
+        if not self.alive:
+            return False
+        runtime = self.runtime
+        step = runtime.step
+        get = runtime._codes.get
+        state = self.state
+        consumed = self.consumed
+        for symbol in word:
+            target = step(state, get(symbol, UNKNOWN_CODE))
+            if target < 0:
+                self.state = state
+                self.consumed = consumed
+                self.alive = False
+                return False
+            state = target
+            consumed += 1
+        self.state = state
+        self.consumed = consumed
+        return True
+
+    def is_accepting(self) -> bool:
+        """True when the symbols consumed so far form a member of the language."""
+        return self.alive and self.runtime.state_accepts(self.state)
+
+
+def compile_runtime(matcher: DeterministicMatcher) -> CompiledRuntime:
+    """Build (or reuse) the compiled runtime attached to *matcher*.
+
+    The runtime is cached on the matcher so repeated calls — e.g. one per
+    validated element of a large document — share every memoized row.
+    """
+    runtime = getattr(matcher, "_compiled_runtime", None)
+    if runtime is None:
+        runtime = CompiledRuntime(matcher)
+        matcher._compiled_runtime = runtime
+    return runtime

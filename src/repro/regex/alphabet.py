@@ -14,7 +14,7 @@ printable range so they cannot collide with user symbols parsed from text.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 #: Sentinel marking the virtual start position (the ``#`` of the paper).
 START_SENTINEL = "#"
@@ -24,6 +24,11 @@ END_SENTINEL = "$"
 
 #: Both sentinels, in the order (start, end).
 SENTINELS = (START_SENTINEL, END_SENTINEL)
+
+#: Code returned by :meth:`Alphabet.encode` for symbols outside the alphabet.
+#: Negative on purpose: valid codes are dense non-negative integers, so the
+#: compiled runtime can reject unknown symbols with a single ``< 0`` test.
+UNKNOWN_CODE = -1
 
 
 def is_sentinel(symbol: str) -> bool:
@@ -96,3 +101,40 @@ class Alphabet:
     def as_list(self) -> list[str]:
         """Return the symbols as a list, in code order."""
         return list(self._symbols)
+
+    @property
+    def codes(self) -> dict[str, int]:
+        """The symbol → code mapping itself (treat as read-only).
+
+        Exposed so hot loops (the compiled runtime's encoder) can hoist one
+        bound ``dict.get`` instead of paying a method call per symbol.
+        """
+        return self._codes
+
+    def encode(self, word: Iterable[str]) -> list[int]:
+        """Intern *word* into a list of dense integer codes, one pass.
+
+        Symbols outside the alphabet map to :data:`UNKNOWN_CODE`; since no
+        position is labelled with them, any matcher rejects the word at that
+        symbol, and the compiled runtime does so with a single sign test.
+        """
+        get = self._codes.get
+        return [get(symbol, UNKNOWN_CODE) for symbol in word]
+
+    def decode(self, codes: Sequence[int]) -> list[str]:
+        """Inverse of :meth:`encode` for in-alphabet codes (tests, debugging).
+
+        Raises ``LookupError`` on :data:`UNKNOWN_CODE` (or any other
+        negative code) rather than letting Python's negative indexing
+        silently alias it to the last alphabet symbol.
+        """
+        symbols = self._symbols
+        decoded: list[str] = []
+        for code in codes:
+            if code < 0:
+                raise LookupError(
+                    f"code {code} does not denote an alphabet symbol "
+                    "(out-of-alphabet symbols encode to UNKNOWN_CODE)"
+                )
+            decoded.append(symbols[code])
+        return decoded

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator
 
 from ..errors import DTDSyntaxError
@@ -111,8 +112,17 @@ def content_model_expression(model: ContentModel) -> Regex | None:
 # Content-model syntax
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=1024)
 def parse_content_model(text: str) -> ContentModel:
-    """Parse the right-hand side of an ``<!ELEMENT>`` declaration."""
+    """Parse the right-hand side of an ``<!ELEMENT>`` declaration.
+
+    Memoized: schema corpora repeat the same handful of declarations across
+    thousands of DTDs (Li et al.), and :class:`ContentModel` instances are
+    frozen — as are the expression ASTs they carry — so sharing one parse
+    across every DTD that declares the same model is free.  It also means
+    equal declarations hit the same key in the :mod:`repro.api` compile
+    cache downstream, reusing the warm matcher and its lazy-DFA rows.
+    """
     stripped = text.strip()
     if stripped == "EMPTY":
         return ContentModel("empty")

@@ -1,0 +1,84 @@
+"""Property tests: the compiled runtime agrees with every matching strategy.
+
+The lazy-DFA runtime (:mod:`repro.matching.runtime`) may never change an
+accept/reject verdict: for any deterministic expression, any registered
+strategy and any word, ``CompiledRuntime(matcher)`` and the matcher itself
+must answer identically — including through the streaming interface, and
+including after the rows have been warmed by earlier words (cache reuse
+must be invisible except in the miss counters).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.matching import STRATEGIES, CompiledRuntime, build_matcher, compile_runtime
+from repro.regex.generators import random_deterministic_expression
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.words import mutate_word, sample_member
+
+
+def _workload(seed: int, leaf_count: int):
+    """A deterministic expression plus member/near-member/random words."""
+    rng = random.Random(seed)
+    expr = random_deterministic_expression(rng, leaf_count)
+    tree = build_parse_tree(expr)
+    alphabet = tree.alphabet.as_list() or ["a"]
+    words: list[list[str]] = [[]]
+    for _ in range(6):
+        member = sample_member(expr, rng)
+        words.append(list(member))
+        words.append(list(mutate_word(member, alphabet, rng)))
+        words.append([rng.choice(alphabet) for _ in range(rng.randint(1, 8))])
+    words.append([alphabet[0], "not-in-alphabet"])
+    words.append(["$"])  # sentinel characters must die on every path
+    words.append([alphabet[0], "#"])
+    return tree, words
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_runtime_agrees_with_every_strategy(seed: int, leaf_count: int):
+    tree, words = _workload(seed, leaf_count)
+    oracle = LanguageOracle(tree)
+    for strategy, matcher_class in STRATEGIES.items():
+        matcher = matcher_class(tree, verify=False)
+        runtime = CompiledRuntime(matcher)
+        for word in words:
+            expected = oracle.accepts(word)
+            assert matcher.accepts(word) == expected, (strategy, word)
+            assert runtime.accepts(word) == expected, (strategy, word)
+        # batch path shares the now-warm rows and must not diverge
+        assert runtime.match_many(words) == [oracle.accepts(word) for word in words]
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_runtime_streaming_equivalence(seed: int, leaf_count: int):
+    tree, words = _workload(seed, leaf_count)
+    matcher = build_matcher(tree, verify=False)
+    runtime = compile_runtime(matcher)
+    for word in words:
+        direct = matcher.start()
+        compiled = runtime.start()
+        for symbol in word:
+            assert compiled.feed(symbol) == direct.feed(symbol), (word, symbol)
+            assert compiled.is_accepting() == direct.is_accepting(), (word, symbol)
+        assert compiled.consumed == direct.consumed, word
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_runtime_cache_reuse_is_pure(seed: int, leaf_count: int):
+    """Replaying a corpus must not delegate to the matcher again."""
+    tree, words = _workload(seed, leaf_count)
+    runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    first = runtime.match_many(words)
+    warm = runtime.misses
+    assert runtime.match_many(words) == first
+    assert runtime.misses == warm
+    stats = runtime.stats()
+    assert stats["transitions_memoized"] == stats["misses"] == warm
