@@ -136,6 +136,59 @@ def runtime_corpus(word_count: int = 200, word_length: int = 60):
 
 
 @lru_cache(maxsize=None)
+def xsd_workload(order_count: int):
+    """An XSD-style schema plus generated documents (the Li et al. workload).
+
+    The schema exercises the counter features DTDs lack (``minOccurs`` /
+    ``maxOccurs`` bounds, optional compositors); the returned documents are
+    a mix of valid orders and orders mutated to violate a bound, so the
+    compiled and direct validation paths are compared on both verdicts.
+    """
+    from repro.xml import element
+    from repro.xml.xsd import XSDSchema, choice, element_particle, sequence
+
+    def declare(schema: XSDSchema) -> XSDSchema:
+        schema.declare(
+            "orders",
+            sequence(element_particle("vendor", 0, 1), element_particle("order", 1, None)),
+        )
+        schema.declare(
+            "order",
+            sequence(
+                element_particle("sku"),
+                element_particle("qty", 1, 3),
+                choice(
+                    element_particle("description"),
+                    element_particle("summary"),
+                    min_occurs=0,
+                    max_occurs=1,
+                ),
+                element_particle("tag", 0, None),
+            ),
+        )
+        return schema
+
+    generator = rng()
+    orders = []
+    for index in range(order_count):
+        children = [element("sku", text="s")]
+        children.extend(element("qty") for _ in range(generator.randint(1, 3)))
+        if generator.random() < 0.5:
+            children.append(element(generator.choice(["description", "summary"])))
+        children.extend(element("tag") for _ in range(generator.randint(8, 24)))
+        if index % 5 == 4:  # every fifth order violates a bound or the order
+            if generator.random() < 0.5:
+                children.insert(1, element("qty"))
+                children.insert(1, element("qty"))
+                children.insert(1, element("qty"))  # qty maxOccurs=3 exceeded
+            else:
+                children.append(element("sku"))  # trailing sku after tags
+        orders.append(element("order", *children))
+    document = element("orders", element("vendor"), *orders)
+    return declare, document
+
+
+@lru_cache(maxsize=None)
 def validation_workload(product_count: int):
     """A catalog DTD plus a generated document with *product_count* products (E8)."""
     from repro.xml import element, parse_dtd

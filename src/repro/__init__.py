@@ -25,6 +25,7 @@ reproduction of the paper's complexity claims.
 """
 
 from .api import (
+    COMPILE_CACHE_SIZE,
     Pattern,
     cache_stats,
     check_deterministic,
@@ -55,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlphabetError",
+    "COMPILE_CACHE_SIZE",
     "CompiledRuntime",
     "DTDSyntaxError",
     "DeterminismConflict",

@@ -5,31 +5,40 @@ deterministic?*, *does this word match it?*, and *validate this document
 against this schema*.  :class:`Pattern` bundles the whole pipeline —
 parsing, normalisation, the linear-time determinism test and the
 automatically dispatched matcher — behind an interface shaped like the
-standard library's ``re`` module::
+standard library's ``re`` module:
 
-    import repro
-
-    pattern = repro.compile("(ab+b(b?)a)*")
-    pattern.is_deterministic        # True
-    pattern.match("abba")           # True
-    pattern.match(["a", "b"])       # words may be symbol lists (XML names)
-
-    repro.is_deterministic("(a*ba+bb)*")              # False
-    repro.check_deterministic("(a*ba+bb)*").describe()  # why not
+>>> import repro
+>>> pattern = repro.compile("(ab+b(b?)a)*")
+>>> pattern.is_deterministic
+True
+>>> pattern.match("abba")
+True
+>>> pattern.match(["a", "b"])       # words may be symbol lists (XML names)
+True
+>>> repro.is_deterministic("(a*ba+bb)*")
+False
 
 Matching runs on the *compiled runtime* by default: the selected Section-4
 matcher is lowered on the fly into integer transition rows
 (:class:`~repro.matching.runtime.CompiledRuntime`), so repeated matching
 against one pattern costs two array/dict probes per symbol instead of a
-structure query.  ``Pattern.match_all`` batch-encodes many words through
-that path, and :func:`compile` keeps an ``re``-style LRU cache so schema
-workloads that re-compile the same few content models millions of times
-(the Li et al. observation) hit a warm pattern::
+structure query — hot rows even densify into C-level arrays.
+``Pattern.match_all`` batch-encodes many words through that path, and
+:func:`compile` keeps an ``re``-style LRU cache so schema workloads that
+re-compile the same few content models millions of times (the Li et al.
+observation) hit a warm pattern:
 
-    pattern = repro.compile("(ab+b(b?)a)*")     # cached by (expr, dialect, ...)
-    pattern.match_all(["abba", "bba", "bb"])    # [True, True, False]
-    pattern.runtime.stats()                     # lazy-DFA materialization
-    repro.purge()                               # drop the compile cache
+>>> pattern = repro.compile("(ab+b(b?)a)*")     # cached by (expr, dialect, ...)
+>>> pattern.match_all(["abba", "bba", "bb"])
+[True, True, False]
+>>> stats = pattern.cache_stats()               # telemetry, see below
+>>> sorted(stats)
+['pattern_cache', 'runtime']
+>>> stats["runtime"]["transitions_memoized"] == stats["runtime"]["misses"]
+True
+>>> sorted(stats["pattern_cache"])
+['evictions', 'hits', 'max_size', 'misses', 'size']
+>>> repro.purge()                               # drop the caches
 
 Pass ``compiled=False`` to keep matching on the direct (uncompiled)
 matcher path — useful when instrumenting the paper's algorithms, whose
@@ -50,7 +59,7 @@ from .core.numeric import NumericDeterminismReport, check_deterministic_numeric
 from .errors import NotDeterministicError
 from .matching.base import DeterministicMatcher, MatchRun
 from .matching.dispatch import build_matcher
-from .matching.runtime import CompiledRun, CompiledRuntime, compile_runtime
+from .matching.runtime import CompiledRun, CompiledRuntime, clear_shared_rows, compile_runtime
 from .regex.ast import Regex
 from .regex.parse_tree import ParseTree, build_parse_tree
 from .regex.parser import parse, parse_word
@@ -195,6 +204,34 @@ class Pattern:
             summary["conflict"] = self.explain()
         return summary
 
+    def _built_runtime(self) -> CompiledRuntime | None:
+        """The compiled runtime if it already exists, without forcing it.
+
+        Telemetry collection must not change what it measures, so unlike
+        :attr:`runtime` this never triggers matcher or runtime
+        construction; it returns ``None`` until some match has been run
+        on the compiled path.
+        """
+        matcher = self._matcher
+        if matcher is None:
+            return None
+        return getattr(matcher, "_compiled_runtime", None)
+
+    def runtime_stats(self) -> dict[str, int] | None:
+        """Lazy-DFA materialization stats, or ``None`` before any matching."""
+        runtime = self._built_runtime()
+        return None if runtime is None else runtime.stats()
+
+    def cache_stats(self) -> dict[str, dict[str, int] | None]:
+        """Combined telemetry: the compile cache plus this pattern's runtime.
+
+        ``"pattern_cache"`` holds the module-level :func:`cache_stats`
+        counters (hits/misses/evictions/size); ``"runtime"`` holds
+        :meth:`runtime_stats` — transition rows memoized, dense rows,
+        shared rows — or ``None`` if the runtime has not been exercised.
+        """
+        return {"pattern_cache": cache_stats(), "runtime": self.runtime_stats()}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         verdict = "deterministic" if self.is_deterministic else "non-deterministic"
         return f"Pattern({str(self.expression)!r}, {verdict})"
@@ -213,6 +250,13 @@ def _uses_extended_operators(expr: Regex) -> bool:
 COMPILE_CACHE_SIZE = 512
 
 
+#: Successful constructions since the last purge.  ``lru_cache`` counts a
+#: *miss* even when the constructor raises (e.g. a syntax error) and
+#: nothing is inserted, so the eviction count must be derived from
+#: insertions, not misses.
+_build_count = 0
+
+
 @lru_cache(maxsize=COMPILE_CACHE_SIZE)
 def _compile_cached(expr: Regex | str, dialect: str, strategy: str, compiled: bool) -> Pattern:
     """The memoized constructor behind :func:`compile` (``re._compile`` idiom).
@@ -222,7 +266,10 @@ def _compile_cached(expr: Regex | str, dialect: str, strategy: str, compiled: bo
     mutates its inputs — its lazily built matcher and runtime are exactly
     the state the cache exists to retain across calls.
     """
-    return Pattern(expr, dialect=dialect, strategy=strategy, compiled=compiled)
+    pattern = Pattern(expr, dialect=dialect, strategy=strategy, compiled=compiled)
+    global _build_count
+    _build_count += 1
+    return pattern
 
 
 def compile(  # noqa: A001 - mirrors re.compile
@@ -243,16 +290,29 @@ def compile(  # noqa: A001 - mirrors re.compile
 
 
 def purge() -> None:
-    """Clear the compile cache (mirrors ``re.purge``)."""
+    """Clear the compile cache and the dense-row registry (mirrors ``re.purge``)."""
+    global _build_count
     _compile_cached.cache_clear()
+    _build_count = 0
+    clear_shared_rows()
 
 
 def cache_stats() -> dict[str, int]:
-    """Hit/miss/size counters of the compile cache (for tests and telemetry)."""
+    """Hit/miss/eviction counters of the compile cache (tests and telemetry).
+
+    ``evictions`` is derived: every successful construction inserts one
+    entry and only LRU eviction removes one (``purge`` resets all
+    counters), so evictions = insertions − live entries.  Failed compiles
+    (syntax errors) count as misses but not insertions.  Sustained growth
+    of the eviction number is the signal to raise
+    :data:`COMPILE_CACHE_SIZE` — see ``examples/xsd_validation.py`` for
+    reading these under a real validation workload.
+    """
     info = _compile_cached.cache_info()
     return {
         "hits": info.hits,
         "misses": info.misses,
+        "evictions": _build_count - info.currsize,
         "size": info.currsize,
         "max_size": info.maxsize,
     }

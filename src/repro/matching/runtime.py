@@ -16,7 +16,18 @@ the lazy-DFA idiom.  :class:`CompiledRuntime` does exactly that:
 * **transitions** ``(state, symbol_code) → state`` are memoized per state
   in a dict row that is created on first visit and filled on first lookup
   by delegating to the wrapped matcher's transition simulation.  Misses
-  (no follower) are memoized too, as :data:`DEAD`.
+  (no follower) are memoized too, as :data:`DEAD`;
+* **hot rows densify**: once a state's dict row has collected
+  transitions for a threshold fraction of the alphabet (see
+  :func:`densify_threshold`), the remaining entries are completed eagerly
+  and the whole row is promoted to an ``array('i')``-backed *dense row* —
+  steady-state stepping through a hot state is then a C-level array index
+  instead of a dict probe;
+* **dense rows are shared**: completed rows are interned in a
+  module-level registry keyed by their contents, so structurally equal
+  sub-expressions — within one runtime or across runtimes — end up
+  pointing at the *same* array object (pure memory dedup; the contents,
+  being equal, behave identically wherever they are consulted).
 
 Memory therefore stays proportional to the transitions actually
 exercised — never the O(|e|·|Σ|) Glushkov table — while steady-state
@@ -24,6 +35,16 @@ matching is two array/dict probes per symbol.  Because the expression is
 deterministic, memoization can never change a verdict: the runtime and the
 wrapped matcher agree on every word by construction (the property tests
 check this against every registered strategy).
+
+>>> from repro.matching import build_matcher
+>>> from repro.regex.parse_tree import build_parse_tree
+>>> runtime = CompiledRuntime(build_matcher(build_parse_tree("(ab)*"), verify=False))
+>>> runtime.accepts("abab")
+True
+>>> runtime.accepts("aba")
+False
+>>> sorted(runtime.stats())
+['dense_rows', 'misses', 'shared_rows', 'states_visited', 'transitions_memoized']
 
 The runtime preserves the streaming contract of the direct path:
 :meth:`CompiledRuntime.start` returns a :class:`CompiledRun` with the same
@@ -34,6 +55,8 @@ The runtime preserves the streaming contract of the direct path:
 
 from __future__ import annotations
 
+import weakref
+from array import array
 from typing import Iterable, Sequence
 
 from ..regex.alphabet import UNKNOWN_CODE
@@ -45,14 +68,92 @@ from .base import DeterministicMatcher
 #: keeps the hot loop to a single ``< 0`` test for both kinds of rejection.
 DEAD = UNKNOWN_CODE
 
+#: A dict row densifies only after collecting at least this many entries …
+DENSIFY_MIN = 4
+
+#: … and at least this fraction of the alphabet (numerator/denominator).
+#: Half the alphabet means a dense row at most doubles the row's memory
+#: while removing the per-symbol dict probe for the state entirely.
+DENSIFY_LOAD = (1, 2)
+
+
+def densify_threshold(width: int) -> int:
+    """Entry count at which a dict row of alphabet *width* turns dense.
+
+    Small alphabets (the common XML case: a handful of element names)
+    densify only once fully exercised; larger ones at half coverage but
+    never before :data:`DENSIFY_MIN` entries.
+
+    >>> [densify_threshold(width) for width in (1, 2, 4, 8, 20)]
+    [1, 2, 4, 4, 10]
+    """
+    num, den = DENSIFY_LOAD
+    return min(width, max(DENSIFY_MIN, (width * num + den - 1) // den))
+
+
+#: Interning registry for completed dense rows, keyed by row contents.
+#: Structurally equal sub-expressions produce identical rows; interning
+#: makes every consumer point at one shared array object.  Contents are
+#: plain target integers, so sharing across runtimes (each interpreting
+#: targets against its own position list) is pure memory dedup and can
+#: never change a verdict.  Values are held *weakly*: the runtimes using
+#: a row keep it alive, and once the last one is gone (e.g. its pattern
+#: was evicted from the compile cache) the entry drops out, so a churning
+#: stream of distinct patterns cannot grow the registry without bound.
+_SHARED_ROWS: "weakref.WeakValueDictionary[tuple[int, ...], array[int]]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def shared_row_count() -> int:
+    """Number of distinct dense rows currently interned (telemetry)."""
+    return len(_SHARED_ROWS)
+
+
+def aggregate_stats(named_runtimes: Iterable[tuple[str, "CompiledRuntime"]]) -> dict[str, dict]:
+    """Fold per-runtime :meth:`CompiledRuntime.stats` into telemetry.
+
+    Shared by ``DTDValidator.stats`` and ``XSDSchema.stats``: returns
+    ``{"elements": {name: stats}, "totals": summed-per-key}`` so a new
+    counter added to :meth:`CompiledRuntime.stats` shows up in every
+    surface at once.  Structurally equal content models share one runtime
+    through the compile cache; each such runtime is listed under every
+    name using it but counted into ``totals`` only once, so the totals
+    reflect real materialization, not the sharing factor.
+    """
+    per_element: dict[str, dict[str, int]] = {}
+    totals: dict[str, int] = {}
+    seen: set[int] = set()
+    for name, runtime in named_runtimes:
+        stats = runtime.stats()
+        per_element[name] = stats
+        if id(runtime) in seen:
+            continue
+        seen.add(id(runtime))
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    return {"elements": per_element, "totals": totals}
+
+
+def clear_shared_rows() -> None:
+    """Drop the dense-row interning registry (``repro.purge`` calls this).
+
+    Existing runtimes keep the array objects they already reference;
+    clearing only stops future densifications from aliasing them.
+    """
+    _SHARED_ROWS.clear()
+
 
 class CompiledRuntime:
     """Lazy-DFA execution of a wrapped :class:`DeterministicMatcher`.
 
     The wrapped matcher is consulted only on the *first* lookup of each
-    ``(state, symbol)`` pair; after that the transition is a dict probe.
-    ``stats()`` exposes how much of the machine has been materialized,
-    which the cache-reuse tests and the benchmarks inspect.
+    ``(state, symbol)`` pair; after that the transition is a dict probe —
+    or, once the state's row has densified (see :func:`densify_threshold`),
+    a C-level array index.  ``stats()`` exposes how much of the machine has
+    been materialized, which the cache-reuse tests, the telemetry surfaces
+    (``Pattern.cache_stats``, ``XSDSchema.stats``) and the benchmarks
+    inspect.
     """
 
     __slots__ = (
@@ -65,7 +166,10 @@ class CompiledRuntime:
         "_rows",
         "_accepts",
         "_start_state",
+        "_width",
+        "_densify_at",
         "misses",
+        "row_dedups",
     )
 
     def __init__(self, matcher: DeterministicMatcher):
@@ -76,13 +180,19 @@ class CompiledRuntime:
         self._symbols: list[str] = self.alphabet.as_list()
         self._positions: list[TreeNode] = self.tree.positions
         state_count = len(self._positions)
-        #: per-state transition rows, created lazily (None until first visit)
-        self._rows: list[dict[int, int] | None] = [None] * state_count
+        #: per-state transition rows: None until first visit, then a dict,
+        #: then (past the densify threshold) a completed array('i') row
+        self._rows: list[dict[int, int] | "array[int]" | None] = [None] * state_count
         #: per-state acceptance verdict: -1 unknown, 0 reject, 1 accept
         self._accepts: list[int] = [-1] * state_count
         self._start_state: int = self.tree.start.position_index
+        #: alphabet width; dense rows have exactly this many entries
+        self._width: int = len(self.alphabet)
+        self._densify_at: int = densify_threshold(self._width)
         #: number of delegations to the wrapped matcher so far (cache misses)
         self.misses = 0
+        #: densified rows that aliased an already-interned equal row
+        self.row_dedups = 0
 
     # -- encoding ----------------------------------------------------------------
     def encode(self, word: Iterable[str]) -> list[int]:
@@ -96,17 +206,50 @@ class CompiledRuntime:
         following = self.matcher.next_position(self._positions[state], self._symbols[code])
         return DEAD if following is None else following.position_index
 
+    def _fill(self, state: int, row: dict[int, int], code: int) -> int:
+        """Memoize one transition into a dict *row*, densifying when due."""
+        target = row[code] = self._miss(state, code)
+        if len(row) >= self._densify_at:
+            self._densify(state, row)
+        return target
+
+    def _densify(self, state: int, row: dict[int, int]) -> None:
+        """Promote a hot dict row to a completed, interned dense array row.
+
+        Entries the traffic has not exercised yet are filled eagerly (at
+        most ``|Σ|`` extra delegations, paid once per hot state), so the
+        dense row is total and can be probed with a bare index.  The
+        completed row is interned in :data:`_SHARED_ROWS`: structurally
+        equal rows collapse to one array object.
+        """
+        get = row.get
+        miss = self._miss
+        entries = [get(code) for code in range(self._width)]
+        for code, target in enumerate(entries):
+            if target is None:
+                entries[code] = miss(state, code)
+        key = tuple(entries)
+        dense = _SHARED_ROWS.get(key)
+        if dense is None:
+            dense = _SHARED_ROWS[key] = array("i", entries)
+        else:
+            self.row_dedups += 1
+        self._rows[state] = dense
+
     def step(self, state: int, code: int) -> int:
         """One memoized transition; returns :data:`DEAD` (< 0) on rejection."""
         if code < 0:
             return DEAD
         row = self._rows[state]
+        if type(row) is dict:
+            target = row.get(code)
+            if target is None:
+                target = self._fill(state, row, code)
+            return target
         if row is None:
             row = self._rows[state] = {}
-        target = row.get(code)
-        if target is None:
-            target = row[code] = self._miss(state, code)
-        return target
+            return self._fill(state, row, code)
+        return row[code]
 
     def state_accepts(self, state: int) -> bool:
         """Memoized ``$ ∈ Follow(state)`` — may the word end in this state?"""
@@ -121,7 +264,8 @@ class CompiledRuntime:
         """Membership test over an already-encoded word (the hot loop).
 
         Everything the loop touches is hoisted into locals; per symbol the
-        steady state is one list index plus one dict probe.
+        steady state is one list index plus one dict probe — or a bare
+        array index once the state's row has densified.
         """
         state = self._start_state
         rows = self._rows
@@ -129,11 +273,15 @@ class CompiledRuntime:
             if code < 0:
                 return False
             row = rows[state]
-            if row is None:
+            if type(row) is dict:
+                target = row.get(code)
+                if target is None:
+                    target = self._fill(state, row, code)
+            elif row is None:
                 row = rows[state] = {}
-            target = row.get(code)
-            if target is None:
-                target = row[code] = self._miss(state, code)
+                target = self._fill(state, row, code)
+            else:
+                target = row[code]
             if target < 0:
                 return False
             state = target
@@ -156,12 +304,31 @@ class CompiledRuntime:
 
     # -- introspection -------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
-        """How much of the lazy DFA has been materialized so far."""
-        rows = [row for row in self._rows if row is not None]
+        """How much of the lazy DFA has been materialized so far.
+
+        ``dense_rows`` counts states promoted to array-backed rows,
+        ``shared_rows`` how many of those aliased an already-interned equal
+        row instead of allocating a new array.  Every memoized transition
+        corresponds to exactly one delegation to the wrapped matcher, so
+        ``transitions_memoized == misses`` is an invariant the unit tests
+        pin down.
+        """
+        visited = 0
+        transitions = 0
+        dense_rows = 0
+        for row in self._rows:
+            if row is None:
+                continue
+            visited += 1
+            transitions += len(row)
+            if type(row) is not dict:
+                dense_rows += 1
         return {
-            "states_visited": len(rows),
-            "transitions_memoized": sum(len(row) for row in rows),
+            "states_visited": visited,
+            "transitions_memoized": transitions,
             "misses": self.misses,
+            "dense_rows": dense_rows,
+            "shared_rows": self.row_dedups,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

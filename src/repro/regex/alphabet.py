@@ -54,25 +54,51 @@ class Alphabet:
     directions.
 
     The class is intentionally tiny; it behaves like a frozen mapping once
-    built but also supports incremental construction via :meth:`add`.
+    built but also supports incremental construction via :meth:`add` until
+    :meth:`freeze` is called.  Freezing pins the *width* of the alphabet:
+    the compiled runtime's dense transition rows are arrays of exactly
+    ``len(alphabet)`` entries indexed by code, so a code minted after a
+    row was densified would silently read past it.  The parse tree
+    freezes its alphabet as soon as construction finishes.
     """
 
-    __slots__ = ("_codes", "_symbols")
+    __slots__ = ("_codes", "_symbols", "_frozen")
 
     def __init__(self, symbols: Iterable[str] = ()):  # noqa: D401 - simple init
         self._codes: dict[str, int] = {}
         self._symbols: list[str] = []
+        self._frozen = False
         for symbol in symbols:
             self.add(symbol)
 
     def add(self, symbol: str) -> int:
-        """Insert *symbol* (idempotent) and return its code."""
+        """Insert *symbol* (idempotent) and return its code.
+
+        Raises ``TypeError`` (mirroring frozen built-ins) when the alphabet
+        has been frozen and *symbol* is new; re-adding a known symbol stays
+        legal because it cannot change the width.
+        """
         code = self._codes.get(symbol)
         if code is None:
+            if self._frozen:
+                raise TypeError(
+                    f"cannot add {symbol!r}: alphabet is frozen "
+                    "(dense transition rows rely on a stable width)"
+                )
             code = len(self._symbols)
             self._codes[symbol] = code
             self._symbols.append(symbol)
         return code
+
+    def freeze(self) -> "Alphabet":
+        """Forbid further growth (idempotent); returns self for chaining."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has pinned the alphabet's width."""
+        return self._frozen
 
     def code(self, symbol: str) -> int:
         """Return the code of *symbol*, raising ``KeyError`` if absent."""

@@ -299,7 +299,7 @@ def build_parse_tree(expr: Regex | str, dialect: str = "paper") -> ParseTree:
     nodes, positions = _number(root)
     alphabet = Alphabet(
         position.symbol for position in positions if position.symbol not in SENTINELS
-    )
+    ).freeze()
     _annotate_nullable(nodes)
     _annotate_pointers(root, nodes)
     return ParseTree(root, inner, nodes, positions, alphabet, normalised)

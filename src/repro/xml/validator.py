@@ -29,7 +29,7 @@ from typing import Sequence, Union
 from ..api import Pattern, compile as compile_pattern
 from ..errors import NotDeterministicError
 from ..matching.base import DeterministicMatcher, MatchRun
-from ..matching.runtime import CompiledRun, CompiledRuntime
+from ..matching.runtime import CompiledRun, CompiledRuntime, aggregate_stats
 from .document import Document, Element
 from .dtd import DTD, ContentModel, content_model_expression
 
@@ -142,6 +142,23 @@ class DTDValidator:
             # the memoized integer rows shared across all occurrences.
             return runtime.accepts_encoded(runtime.encode(children))
         return matcher.accepts(children)
+
+    def stats(self) -> dict[str, dict]:
+        """Lazy-DFA materialization telemetry, one entry per content model.
+
+        Mirrors :meth:`repro.xml.xsd.XSDSchema.stats`: ``"elements"`` maps
+        each declared name with a built runtime to its
+        :meth:`~repro.matching.runtime.CompiledRuntime.stats`, ``"totals"``
+        sums them.  Use together with :func:`repro.cache_stats` to size the
+        compile cache from observed validation traffic.  Runtimes belong to
+        cached patterns, so counters include traffic from every validator
+        sharing the same content models through the compile cache.
+        """
+        return aggregate_stats(
+            (name, runtime)
+            for name, runtime in self._runtimes.items()
+            if runtime is not None
+        )
 
     def checker_for(self, name: str) -> "StreamingContentChecker | None":
         """A streaming checker for the content model of *name* (or ``None``).

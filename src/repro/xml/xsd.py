@@ -12,17 +12,43 @@ the corresponding application layer:
   determinism check of :mod:`repro.core.numeric` (the XML Schema "Unique
   Particle Attribution" constraint) and validation through the expanded
   expression.
+
+Validation runs on the same engine as the DTD validator: every declared
+content model is compiled **through the module-level pattern cache of**
+:mod:`repro.api` (``repro.compile``), so two schemas declaring the same
+particle — or the same schema validating many documents — share one warm
+:class:`~repro.api.Pattern`, including its memoized lazy-DFA transition
+rows.  Child sequences are interned once and replayed through the
+compiled runtime; pass ``compiled=False`` to validate on the direct
+(uncompiled) matcher path instead.
+
+>>> schema = XSDSchema(root="order")
+>>> schema.declare("order", sequence(element_particle("item", 1, None),
+...                                  element_particle("note", 0, 1)))
+>>> schema.is_valid_schema()
+True
+>>> schema.validate_children("order", ["item", "item", "note"])
+True
+>>> schema.validate_children("order", ["note"])
+False
+>>> schema.stats()["totals"]["misses"] > 0
+True
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from ..core.numeric import NumericDeterminismReport, check_deterministic_numeric
+from ..core.determinism import DeterminismReport
+from ..core.numeric import NumericDeterminismReport
 from ..errors import InvalidExpressionError
+from ..matching.runtime import CompiledRuntime, aggregate_stats
 from ..regex.ast import Regex, Repeat, Sym, concat, union
 from .document import Element
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports nothing from here)
+    from ..api import Pattern
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,27 +121,47 @@ def choice(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 1)
 
 @dataclass(slots=True)
 class XSDSchema:
-    """A minimal XSD-like schema: one content particle per element name."""
+    """A minimal XSD-like schema: one content particle per element name.
+
+    *compiled* (default True) routes child-sequence validation through the
+    lazy-DFA runtime; the patterns themselves always come from the
+    module-level compile cache of :mod:`repro.api`, so structurally equal
+    content models are compiled exactly once per process.
+    """
 
     root: str | None = None
     types: dict[str, Particle] = field(default_factory=dict)
-    _matcher_cache: dict = field(default_factory=dict, repr=False)
+    compiled: bool = True
+    _patterns: dict[str, "Pattern | None"] = field(default_factory=dict, repr=False)
+    #: name → resolved matching engine (CompiledRuntime when ``compiled``,
+    #: else the direct matcher); memoized so the per-element cost of
+    #: validation is one dict probe, with no Pattern property traffic.
+    _engines: dict = field(default_factory=dict, repr=False)
 
     def declare(self, name: str, particle: Particle) -> None:
-        """Declare the content particle of element *name*."""
+        """Declare the content particle of element *name* (re-declaration allowed)."""
         self.types[name] = particle
+        # Invalidate the per-element memos; the underlying Pattern stays in
+        # the module cache for any other schema still declaring it.
+        self._patterns.pop(name, None)
+        self._engines.pop(name, None)
 
     def particle(self, name: str) -> Particle | None:
         """The declared particle of *name* (or ``None``)."""
         return self.types.get(name)
 
     # -- Unique Particle Attribution (determinism) ----------------------------------------
-    def check_unique_particle_attribution(self) -> dict[str, NumericDeterminismReport]:
-        """Run the counter-aware determinism check on every declared type."""
-        return {
-            name: check_deterministic_numeric(particle.to_regex())
-            for name, particle in self.types.items()
-        }
+    def check_unique_particle_attribution(
+        self,
+    ) -> dict[str, NumericDeterminismReport | DeterminismReport]:
+        """Run the counter-aware determinism check on every declared type.
+
+        Each report is the one computed (once, cached) by the compiled
+        pattern: particles with occurrence bounds get the Section-3.3
+        counter-aware analysis, plain particles the linear-time test —
+        exactly the semantics UPA requires.
+        """
+        return {name: self._pattern_for(name).report for name in self.types}
 
     def is_valid_schema(self) -> bool:
         """True when every declared content model satisfies UPA (is deterministic)."""
@@ -125,15 +171,32 @@ class XSDSchema:
     def validate_children(self, name: str, child_names: Sequence[str]) -> bool:
         """Check one child sequence against the declared particle of *name*.
 
-        Validation goes through the expanded expression (numeric bounds are
-        unfolded), matched with the automatically selected matcher; the
-        matcher cache makes repeated validations of the same element type
-        cheap.
+        Validation goes through the expanded expression (numeric bounds
+        are unfolded to ``Repeat`` nodes the parse tree rewrites), matched
+        on the compiled runtime: the child names are interned into integer
+        codes once, then replayed over transition rows shared with every
+        other document — and every other schema — that exercised the same
+        content model.
         """
-        matcher = self._matcher_for(name)
-        if matcher is None:
+        engines = self._engines
+        if name in engines:
+            engine = engines[name]
+        else:
+            pattern = self._pattern_for(name)
+            if pattern is None:
+                engine = None
+            elif self.compiled:
+                engine = pattern.runtime
+            else:
+                engine = pattern.matcher
+            engine = engines[name] = engine
+        if engine is None:
             return True  # undeclared elements are unconstrained in this mini-schema
-        return matcher.accepts(list(child_names))
+        # Dispatch on what was memoized, not on the (mutable) `compiled`
+        # flag: an engine chosen before the flag was flipped keeps working.
+        if type(engine) is CompiledRuntime:
+            return engine.accepts_encoded(engine.encode(child_names))
+        return engine.accepts(list(child_names))
 
     def validate_element(self, element: Element) -> bool:
         """Recursively validate *element* and its descendants."""
@@ -142,14 +205,54 @@ class XSDSchema:
             for node in element.iter_elements()
         )
 
-    def _matcher_for(self, name: str):
-        cache = self._matcher_cache
-        if name not in cache:
+    def _pattern_for(self, name: str) -> "Pattern | None":
+        """The compiled pattern of *name*'s particle, memoized per element.
+
+        The memo makes the per-call cost a single dict probe; the pattern
+        itself comes from ``repro.compile``'s LRU cache, so it is shared
+        with every other schema (and the DTD validator) that compiles a
+        structurally equal expression.
+        """
+        patterns = self._patterns
+        if name not in patterns:
             particle = self.types.get(name)
             if particle is None:
-                cache[name] = None
+                patterns[name] = None
             else:
-                from ..api import Pattern
+                from ..api import compile as compile_pattern
 
-                cache[name] = Pattern(particle.to_regex()).matcher
-        return cache[name]
+                patterns[name] = compile_pattern(particle.to_regex())
+        return patterns[name]
+
+    def _matcher_for(self, name: str):
+        """The matcher of *name*'s content model (memoized; ``None`` if undeclared).
+
+        Kept as the pre-runtime surface: callers holding a schema can still
+        grab the direct matcher, and the regression tests pin down that
+        repeated calls return the *same* object instead of rebuilding.
+        """
+        pattern = self._pattern_for(name)
+        return None if pattern is None else pattern.matcher
+
+    # -- telemetry -------------------------------------------------------------------------------
+    def stats(self) -> dict[str, dict]:
+        """Lazy-DFA materialization telemetry for this schema's runtimes.
+
+        Returns ``{"elements": {name: runtime stats}, "totals": summed
+        stats}`` covering every declared element whose runtime has been
+        built.  Feed this to a monitoring endpoint to size
+        ``repro.COMPILE_CACHE_SIZE`` from real traffic.  Patterns — and
+        therefore runtimes and their counters — are shared process-wide
+        through the compile cache: a structurally equal content model
+        declared by another schema (or a DTD validator) contributes to the
+        same rows, so these numbers describe the pattern's total traffic,
+        not this schema instance's alone.
+        """
+        named = []
+        for name, pattern in self._patterns.items():
+            if pattern is None:
+                continue
+            runtime = pattern._built_runtime()
+            if runtime is not None:
+                named.append((name, runtime))
+        return aggregate_stats(named)

@@ -70,6 +70,51 @@ def test_runtime_streaming_equivalence(seed: int, leaf_count: int):
         assert compiled.consumed == direct.consumed, word
 
 
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_dense_rows_preserve_verdicts(seed: int, leaf_count: int):
+    """Densified (array-backed) rows may never change a verdict.
+
+    Forcing the densify threshold to 1 promotes every visited state to a
+    completed dense row on its first transition, so the whole corpus runs
+    on the array path; verdicts must still match the direct matcher and
+    the language oracle.
+    """
+    tree, words = _workload(seed, leaf_count)
+    oracle = LanguageOracle(tree)
+    matcher = build_matcher(tree, verify=False)
+    eager = CompiledRuntime(build_matcher(tree, verify=False))
+    eager._densify_at = 1  # densify every state on first fill
+    for word in words:
+        expected = oracle.accepts(word)
+        assert matcher.accepts(word) == expected, word
+        assert eager.accepts(word) == expected, word
+    stats = eager.stats()
+    assert stats["dense_rows"] == stats["states_visited"]  # all rows promoted
+    assert stats["transitions_memoized"] == stats["misses"]
+    # dense rows are total: replaying the corpus cannot miss again
+    warm = eager.misses
+    assert eager.match_many(words) == [oracle.accepts(word) for word in words]
+    assert eager.misses == warm
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_dense_streaming_equivalence(seed: int, leaf_count: int):
+    """The streaming run must agree symbol-by-symbol on dense rows too."""
+    tree, words = _workload(seed, leaf_count)
+    matcher = build_matcher(tree, verify=False)
+    eager = CompiledRuntime(build_matcher(tree, verify=False))
+    eager._densify_at = 1
+    for word in words:
+        direct = matcher.start()
+        compiled = eager.start()
+        for symbol in word:
+            assert compiled.feed(symbol) == direct.feed(symbol), (word, symbol)
+            assert compiled.is_accepting() == direct.is_accepting(), (word, symbol)
+        assert compiled.consumed == direct.consumed, word
+
+
 @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=8))
 @settings(max_examples=40, deadline=None)
 def test_runtime_cache_reuse_is_pure(seed: int, leaf_count: int):

@@ -6,7 +6,13 @@ import pytest
 
 import repro
 from repro.matching import CompiledRun, CompiledRuntime, build_matcher, compile_runtime
-from repro.matching.runtime import DEAD
+from repro.matching.runtime import (
+    DEAD,
+    clear_shared_rows,
+    densify_threshold,
+    shared_row_count,
+)
+from repro.regex.ast import Sym
 from repro.regex.parse_tree import build_parse_tree
 from repro.xml import element, parse_dtd
 from repro.xml.dtd import parse_content_model
@@ -70,6 +76,85 @@ class TestCompiledRuntime:
     def test_compile_runtime_is_cached_on_the_matcher(self):
         matcher = build_matcher(build_parse_tree("(ab)*"), verify=False)
         assert compile_runtime(matcher) is compile_runtime(matcher)
+
+
+class TestDenseRows:
+    #: six-symbol mixed content: alphabet width 6, densify threshold 4
+    EXPR = "(a+b+c+d+e+f)*"
+
+    def test_densify_threshold_profile(self):
+        # full coverage for tiny alphabets, half coverage (>= DENSIFY_MIN)
+        # for larger ones
+        assert [densify_threshold(w) for w in (1, 2, 3, 4, 8, 20, 100)] == [
+            1, 2, 3, 4, 4, 10, 50,
+        ]
+
+    def test_hot_row_densifies_and_is_completed_eagerly(self):
+        runtime = _runtime(self.EXPR)
+        for symbol in "abc":
+            runtime.accepts(symbol)
+        assert runtime.stats()["dense_rows"] == 0  # below threshold
+        runtime.accepts("d")  # fourth distinct code: the start row promotes
+        stats = runtime.stats()
+        assert stats["dense_rows"] >= 1
+        # eager completion resolved e and f at promotion time: probing them
+        # now must not delegate to the wrapped matcher again
+        warm = runtime.misses
+        assert runtime.accepts("e") and runtime.accepts("f")
+        assert runtime.misses == warm
+        assert runtime.stats()["transitions_memoized"] == runtime.misses
+
+    def test_dense_rows_agree_with_matcher(self):
+        runtime = _runtime(self.EXPR)
+        runtime._densify_at = 1  # promote every state immediately
+        matcher = build_matcher(build_parse_tree(self.EXPR), verify=False)
+        for word in ["", "abc", "fedcba", "az", "aa", "abcdef"]:
+            assert runtime.accepts(word) == matcher.accepts(word), word
+        stats = runtime.stats()
+        assert stats["dense_rows"] == stats["states_visited"] > 0
+
+    def test_dense_step_memoizes_dead_transitions(self):
+        runtime = _runtime("(ab)*")
+        runtime._densify_at = 1
+        assert runtime.accepts("ab")
+        start = runtime._start_state
+        b_code = runtime.alphabet.code("b")
+        assert runtime.step(start, b_code) == runtime.step(start, b_code) < 0
+        assert runtime.step(start, -1) == DEAD
+
+    def test_structurally_equal_runtimes_share_dense_rows(self):
+        first = _runtime(self.EXPR)
+        second = _runtime(self.EXPR)
+        for runtime in (first, second):
+            for word in ["a", "b", "c", "d", "e", "f"]:
+                runtime.accepts(word)
+        assert first.stats()["dense_rows"] > 0
+        # the second runtime's dense rows alias the first's interned arrays
+        assert second.row_dedups > 0
+        shared = [row for row in second._rows if row is not None and type(row) is not dict]
+        assert any(any(row is other for other in first._rows) for row in shared)
+
+    def test_streaming_over_dense_rows(self):
+        matcher = build_matcher(build_parse_tree(self.EXPR), verify=False)
+        runtime = CompiledRuntime(build_matcher(build_parse_tree(self.EXPR), verify=False))
+        runtime._densify_at = 1
+        for word in ["abc", "az", ""]:
+            direct = matcher.start()
+            compiled = runtime.start()
+            for symbol in word:
+                assert compiled.feed(symbol) == direct.feed(symbol), (word, symbol)
+                assert compiled.is_accepting() == direct.is_accepting(), (word, symbol)
+
+    def test_purge_clears_the_shared_registry(self):
+        runtime = _runtime(self.EXPR)
+        runtime._densify_at = 1
+        runtime.accepts("a")
+        assert shared_row_count() > 0
+        repro.purge()
+        assert shared_row_count() == 0
+        # already-densified runtimes keep their rows and verdicts
+        assert runtime.accepts("ab")
+        clear_shared_rows()  # idempotent
 
 
 class TestCompiledRunStreaming:
@@ -143,6 +228,53 @@ class TestCompileCache:
         repro.purge()
         assert repro.cache_stats()["size"] == 0
         assert repro.compile("(ab)*") is not first
+
+    def test_failed_compiles_do_not_inflate_evictions(self):
+        from repro.errors import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError):
+            repro.compile("((")
+        stats = repro.cache_stats()
+        assert stats["misses"] == 1  # the attempt is counted ...
+        assert stats["evictions"] == 0  # ... but nothing was inserted or evicted
+
+    def test_shared_registry_releases_rows_of_dead_runtimes(self):
+        import gc
+
+        runtime = _runtime("(a+b+c+d+e+f)*")
+        runtime._densify_at = 1
+        runtime.accepts("a")
+        assert shared_row_count() > 0
+        del runtime
+        gc.collect()
+        assert shared_row_count() == 0  # weak registry: no leak after eviction
+
+    def test_eviction_counter_tracks_lru_overflow(self):
+        assert repro.cache_stats()["evictions"] == 0
+        overflow = 5
+        for index in range(repro.COMPILE_CACHE_SIZE + overflow):
+            repro.compile(Sym(f"s{index}"))
+        stats = repro.cache_stats()
+        assert stats["size"] == repro.COMPILE_CACHE_SIZE == stats["max_size"]
+        assert stats["evictions"] == overflow
+        assert stats["misses"] == repro.COMPILE_CACHE_SIZE + overflow
+
+    def test_pattern_cache_stats_combines_cache_and_runtime(self):
+        pattern = repro.compile("(ab+b(b?)a)*")
+        assert pattern.runtime_stats() is None  # nothing matched yet
+        assert pattern.cache_stats()["runtime"] is None
+        pattern.match("abba")
+        stats = pattern.cache_stats()
+        assert stats["pattern_cache"]["misses"] >= 1
+        runtime = stats["runtime"]
+        assert runtime["misses"] > 0
+        assert runtime["transitions_memoized"] == runtime["misses"]
+        assert {"dense_rows", "shared_rows"} <= set(runtime)
+
+    def test_uncompiled_pattern_reports_no_runtime(self):
+        pattern = repro.compile("(ab)*", compiled=False)
+        pattern.match("ab")  # builds the matcher but no runtime
+        assert pattern.runtime_stats() is None
 
     def test_cached_pattern_shares_warm_runtime(self):
         pattern = repro.compile("(ab+b(b?)a)*")
