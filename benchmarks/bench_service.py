@@ -1,0 +1,132 @@
+"""The validation service's batch operations vs. the per-word request loop.
+
+The service exists so that clients stop issuing one request per word: a
+per-word loop pays the request accounting, the compile-cache probe and the
+pattern dispatch once *per word*, while ``match_batch`` pays them once per
+corpus and then rides the warm batch paths — one encoded-corpus pass of
+the star-free multi-matcher (Theorem 4.12) or a compiled-runtime replay
+over rows shared by every worker.  This module tracks that gap:
+
+* pytest-benchmark timings of both shapes on warm patterns
+  (``BENCH_service.json`` in CI);
+* verdict-equivalence checks: the batch paths, the per-word loop and a
+  freshly compiled uncached control must agree on every word;
+* a throughput smoke gate — one batch request ≥ 3× the per-word request
+  loop on warm patterns — so a regression in the batch plumbing fails
+  loudly even without timing collection.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import repro
+from repro.service import ValidationService
+
+#: One starred pattern (compiled-runtime batch path) and one star-free
+#: pattern (multi-matcher batch path); the gate covers both.
+PATTERNS = {
+    "starred": "(ab+b(b?)a)*",
+    "star-free": "(a+b)(c?)(d+e)f",
+}
+
+WORD_COUNT = 2000
+
+#: Whole-corpus passes per timed section (warm replay is the scenario).
+REPEATS = 3
+
+
+def _corpus(expr: str) -> tuple[list[str], list[bool]]:
+    """Member-biased random words plus single-threaded oracle verdicts."""
+    reference = repro.Pattern(expr, compiled=False)
+    alphabet = reference.tree.alphabet.as_list()
+    rng = random.Random(20120521)
+    words = [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(2, 8)))
+        for _ in range(WORD_COUNT)
+    ]
+    return words, [reference.match(word) for word in words]
+
+
+def _per_word_loop(service: ValidationService, expr: str, words: list[str]) -> list[bool]:
+    """The naive client: one service request per word."""
+    return [service.match_batch(expr, [word])[0] for word in words]
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark timings (enabled with --benchmark-enable)
+# ---------------------------------------------------------------------------
+
+def test_per_word_requests(benchmark):
+    expr = PATTERNS["starred"]
+    words, _ = _corpus(expr)
+    with ValidationService(workers=8) as service:
+        service.match_batch(expr, words)  # warm the pattern and its rows
+        verdicts = benchmark(lambda: [_per_word_loop(service, expr, words) for _ in range(REPEATS)])
+    assert len(verdicts[0]) == len(words)
+
+
+def test_batch_requests(benchmark):
+    expr = PATTERNS["starred"]
+    words, _ = _corpus(expr)
+    with ValidationService(workers=8) as service:
+        service.match_batch(expr, words)
+        verdicts = benchmark(lambda: [service.match_batch(expr, words) for _ in range(REPEATS)])
+    assert len(verdicts[0]) == len(words)
+
+
+def test_batch_requests_star_free(benchmark):
+    expr = PATTERNS["star-free"]
+    words, _ = _corpus(expr)
+    with ValidationService(workers=8) as service:
+        service.match_batch(expr, words)
+        verdicts = benchmark(lambda: [service.match_batch(expr, words) for _ in range(REPEATS)])
+    assert len(verdicts[0]) == len(words)
+
+
+# ---------------------------------------------------------------------------
+# Correctness and throughput gates (run even with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_batch_verdicts_identical_to_per_word_and_oracle():
+    """Batch, per-word-loop and fresh-pattern control must all agree."""
+    with ValidationService(workers=8, min_chunk=64) as service:
+        for label, expr in PATTERNS.items():
+            words, oracle = _corpus(expr)
+            assert any(oracle) and not all(oracle), label  # both verdicts present
+            batch = service.match_batch(expr, words)
+            assert batch == oracle, f"{label}: batch diverged from the oracle"
+            assert _per_word_loop(service, expr, words) == oracle, label
+    # the two batch paths really are distinct
+    assert repro.compile(PATTERNS["starred"]).describe()["batch_path"] == "compiled-runtime"
+    assert repro.compile(PATTERNS["star-free"]).describe()["batch_path"] == "star-free-multi"
+
+
+def _best_of(rounds: int, work) -> float:
+    """Minimum wall-clock over *rounds* runs (robust against CI descheduling)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        work()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batch_speedup_at_least_3x():
+    """One batch request must be ≥ 3× the per-word request loop, warm.
+
+    Locally the gap is 10–16×; best-of-3 timing keeps the gate from
+    tripping on a descheduled shared CI runner rather than on a real
+    regression in the batch plumbing.
+    """
+    with ValidationService(workers=8) as service:
+        for label, expr in PATTERNS.items():
+            words, oracle = _corpus(expr)
+            assert service.match_batch(expr, words) == oracle  # warm + verify
+            per_word = _best_of(3, lambda: _per_word_loop(service, expr, words))
+            batch = _best_of(3, lambda: service.match_batch(expr, words))
+            speedup = per_word / batch
+            assert speedup >= 3.0, (
+                f"{label}: batch only {speedup:.2f}x over the per-word request loop"
+            )

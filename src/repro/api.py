@@ -51,8 +51,9 @@ who want to instrument or extend the algorithms.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Iterable, Sequence
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterable, Sequence
 
 from .core.determinism import DeterminismReport, check_deterministic
 from .core.numeric import NumericDeterminismReport, check_deterministic_numeric
@@ -112,6 +113,11 @@ class Pattern:
         self._strategy = strategy
         self._compiled = compiled
         self._matcher: DeterministicMatcher | None = None
+        #: ``False`` until probed, then a StarFreeMultiMatcher or ``None``
+        self._batch_multi: object = False
+        #: guards lazy construction (matcher, runtime, batch matcher) so
+        #: worker threads sharing one cached pattern build each exactly once
+        self._init_lock = threading.Lock()
 
     # -- determinism -----------------------------------------------------------------
     @property
@@ -126,23 +132,33 @@ class Pattern:
     # -- matching ---------------------------------------------------------------------
     @property
     def matcher(self) -> DeterministicMatcher:
-        """The (lazily built) matcher; raises if the expression is not deterministic."""
-        if self._matcher is None:
+        """The (lazily built) matcher; raises if the expression is not deterministic.
+
+        Construction is locked (double-checked) so worker threads sharing a
+        cached pattern agree on one matcher — and therefore one compiled
+        runtime and one set of memoized rows.
+        """
+        matcher = self._matcher
+        if matcher is None:
             if not self.report.deterministic:
                 raise NotDeterministicError(
                     f"cannot match against a non-deterministic expression: {self.explain()}",
                     report=self.report,
                 )
-            if self.tree_report.deterministic:
-                self._matcher = build_matcher(self.tree, strategy=self._strategy, verify=False)
-            else:
-                # Deterministic under the native +/counter semantics but not
-                # after the language-preserving rewriting: fall back to the
-                # k-occurrence matcher (see the class docstring).
-                from .matching.kore import KOccurrenceMatcher
+            with self._init_lock:
+                matcher = self._matcher
+                if matcher is None:
+                    if self.tree_report.deterministic:
+                        matcher = build_matcher(self.tree, strategy=self._strategy, verify=False)
+                    else:
+                        # Deterministic under the native +/counter semantics but not
+                        # after the language-preserving rewriting: fall back to the
+                        # k-occurrence matcher (see the class docstring).
+                        from .matching.kore import KOccurrenceMatcher
 
-                self._matcher = KOccurrenceMatcher(self.tree, verify=False)
-        return self._matcher
+                        matcher = KOccurrenceMatcher(self.tree, verify=False)
+                    self._matcher = matcher
+        return matcher
 
     @property
     def runtime(self) -> CompiledRuntime:
@@ -163,19 +179,56 @@ class Pattern:
     def match_all(self, words: Iterable[str | Sequence[str]]) -> list[bool]:
         """Match several words in one batch.
 
-        Each word is parsed and integer-encoded exactly once, then run
-        through the compiled runtime so all words share the memoized
-        transition rows.  With ``compiled=False`` this falls back to the
-        direct path — one :meth:`match` per word on the uncompiled matcher —
-        which keeps the per-symbol structure queries observable (that is
-        what the benchmarks compare against).
+        Each word is parsed and integer-encoded exactly once.  Star-free
+        deterministic patterns then run as *one* encoded-corpus pass of the
+        multi-word matcher (Theorem 4.12) — the whole batch is answered
+        during a single scan of the expression's positions; every other
+        pattern replays the corpus through the compiled runtime so all
+        words share the memoized transition rows.  :meth:`describe` reports
+        which path a pattern takes under ``"batch_path"``.  With
+        ``compiled=False`` this falls back to the direct path — one
+        :meth:`match` per word on the uncompiled matcher — which keeps the
+        per-symbol structure queries observable (that is what the
+        benchmarks compare against).
         """
         if not self._compiled:
             return [self.match(word) for word in words]
+        multi = self._batch_matcher()
+        if multi is not None:
+            encoded = self.tree.alphabet.encode_many(parse_word(word) for word in words)
+            return multi.match_all_encoded(encoded)
         runtime = self.runtime
         accepts_encoded = runtime.accepts_encoded
         encode = runtime.encode
         return [accepts_encoded(encode(parse_word(word))) for word in words]
+
+    def _batch_matcher(self):
+        """The star-free multi-matcher for batch calls, or ``None``.
+
+        Built once (lock-guarded) when the pattern qualifies for the
+        Theorem 4.12 path: the rewritten tree must be star-free *and*
+        deterministic under the tree semantics — the ``+``/counter fallback
+        cases run on the k-occurrence matcher, whose transition simulation
+        the multi-matcher does not reproduce.
+        """
+        multi = self._batch_multi
+        if multi is False:
+            with self._init_lock:
+                multi = self._batch_multi
+                if multi is False:
+                    qualifies = (
+                        self.report.deterministic
+                        and self.tree_report.deterministic
+                        and not any(node.is_iteration for node in self.tree.nodes)
+                    )
+                    if qualifies:
+                        from .matching.star_free import StarFreeMultiMatcher
+
+                        multi = StarFreeMultiMatcher(self.tree, verify=False)
+                    else:
+                        multi = None
+                    self._batch_multi = multi
+        return multi
 
     def stream(self) -> MatchRun | CompiledRun:
         """Begin a streaming match (feed symbols one at a time).
@@ -195,11 +248,23 @@ class Pattern:
         return self.matcher.name
 
     def describe(self) -> dict[str, object]:
-        """Structural summary of the expression (size, classes, determinism)."""
+        """Structural summary of the expression (size, classes, determinism).
+
+        ``"batch_path"`` names the route :meth:`match_all` takes:
+        ``"star-free-multi"`` (one encoded-corpus pass, Theorem 4.12),
+        ``"compiled-runtime"`` (per-word replay over shared memoized rows)
+        or ``"per-word"`` (the uncompiled fallback).
+        """
         summary = classify(self.expression)
         summary["deterministic"] = self.is_deterministic
         if self.is_deterministic:
             summary["strategy"] = self.strategy
+            if not self._compiled:
+                summary["batch_path"] = "per-word"
+            elif self._batch_matcher() is not None:
+                summary["batch_path"] = "star-free-multi"
+            else:
+                summary["batch_path"] = "compiled-runtime"
         else:
             summary["conflict"] = self.explain()
         return summary
@@ -250,14 +315,110 @@ def _uses_extended_operators(expr: Regex) -> bool:
 COMPILE_CACHE_SIZE = 512
 
 
-#: Successful constructions since the last purge.  ``lru_cache`` counts a
-#: *miss* even when the constructor raises (e.g. a syntax error) and
-#: nothing is inserted, so the eviction count must be derived from
-#: insertions, not misses.
-_build_count = 0
+class _PatternCache:
+    """A thread-safe LRU of compiled patterns (replaces ``functools.lru_cache``).
+
+    The ``lru_cache`` it replaces had a latent race with :func:`purge`:
+    eviction bookkeeping lived in a module global (``_build_count``) that a
+    purge reset *before* ``cache_clear()`` ran, so a concurrent miss could
+    finish its construction in between, re-insert into the supposedly
+    cleared cache, and leave the dense-row registry (cleared separately,
+    later) referencing rows the cache no longer knew about — eviction
+    counts could even go negative.  Here every mutation — hit bookkeeping,
+    the whole miss (count, build, insert, evict) and the purge (entries,
+    counters *and* the shared dense-row registry) — happens under one
+    re-entrant mutex, so a purge is strictly before or strictly after any
+    insertion and the registry clear is atomic with the cache clear.
+
+    Reads stay cheap — and never stall behind a build: the warm path
+    probes the dictionary without any lock (a single ``dict.get``, atomic
+    under the GIL), counts the hit under a dedicated counter mutex that no
+    slow operation ever holds, and bumps the LRU recency only if the
+    writer mutex is free right now (``acquire(blocking=False)``) — while a
+    miss is constructing a large pattern, concurrent warm hits return
+    immediately with at worst slightly stale recency ordering.  A probe
+    that races a purge simply returns the still-valid pre-purge pattern to
+    its caller without re-inserting it — in-flight work keeps its pattern,
+    the cache stays empty.
+    """
+
+    __slots__ = ("maxsize", "lock", "_count_lock", "_entries", "hits", "misses", "insertions")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        #: writer mutex (entries + eviction); re-entrant so a build that
+        #: (now or in the future) compiles a sub-pattern through
+        #: :func:`compile` cannot self-deadlock
+        self.lock = threading.RLock()
+        #: counter mutex: held only for integer bumps and snapshots, never
+        #: while building, so hit accounting cannot block on a slow miss.
+        #: Lock order where both are taken: ``lock`` before ``_count_lock``.
+        self._count_lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, Pattern]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: successful constructions since the last purge; a failed build
+        #: (syntax error) counts as a miss but inserts nothing, so the
+        #: eviction count must be derived from insertions, not misses
+        self.insertions = 0
+
+    def _count_hit(self, key: tuple) -> None:
+        with self._count_lock:
+            self.hits += 1
+        if self.lock.acquire(blocking=False):  # recency is best-effort
+            try:
+                self._entries.move_to_end(key)
+            except KeyError:
+                pass  # evicted/purged between probe and bump; see class docstring
+            finally:
+                self.lock.release()
+
+    def get_or_build(self, key: tuple, build: Callable[[], "Pattern"]) -> "Pattern":
+        pattern = self._entries.get(key)  # optimistic lock-free probe
+        if pattern is not None:
+            self._count_hit(key)
+            return pattern
+        with self.lock:
+            pattern = self._entries.get(key)
+            if pattern is not None:  # another thread built it while we waited
+                with self._count_lock:
+                    self.hits += 1
+                self._entries.move_to_end(key)
+                return pattern
+            # Single-writer miss path: construction runs under the writer
+            # lock, so concurrent misses for one key build once and purge
+            # is atomic with respect to the insertion.
+            with self._count_lock:
+                self.misses += 1
+            pattern = build()
+            with self._count_lock:
+                self.insertions += 1
+            self._entries[key] = pattern
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return pattern
+
+    def purge(self) -> None:
+        with self.lock:
+            with self._count_lock:
+                self._entries.clear()
+                self.hits = self.misses = self.insertions = 0
+            clear_shared_rows()
+
+    def stats(self) -> dict[str, int]:
+        with self._count_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.insertions - len(self._entries),
+                "size": len(self._entries),
+                "max_size": self.maxsize,
+            }
 
 
-@lru_cache(maxsize=COMPILE_CACHE_SIZE)
+_CACHE = _PatternCache(COMPILE_CACHE_SIZE)
+
+
 def _compile_cached(expr: Regex | str, dialect: str, strategy: str, compiled: bool) -> Pattern:
     """The memoized constructor behind :func:`compile` (``re._compile`` idiom).
 
@@ -266,10 +427,10 @@ def _compile_cached(expr: Regex | str, dialect: str, strategy: str, compiled: bo
     mutates its inputs — its lazily built matcher and runtime are exactly
     the state the cache exists to retain across calls.
     """
-    pattern = Pattern(expr, dialect=dialect, strategy=strategy, compiled=compiled)
-    global _build_count
-    _build_count += 1
-    return pattern
+    return _CACHE.get_or_build(
+        (expr, dialect, strategy, compiled),
+        lambda: Pattern(expr, dialect=dialect, strategy=strategy, compiled=compiled),
+    )
 
 
 def compile(  # noqa: A001 - mirrors re.compile
@@ -290,11 +451,16 @@ def compile(  # noqa: A001 - mirrors re.compile
 
 
 def purge() -> None:
-    """Clear the compile cache and the dense-row registry (mirrors ``re.purge``)."""
-    global _build_count
-    _compile_cached.cache_clear()
-    _build_count = 0
-    clear_shared_rows()
+    """Clear the compile cache and the dense-row registry (mirrors ``re.purge``).
+
+    Atomic with respect to concurrent compiles: both clears happen under
+    the cache lock, so a racing miss lands either entirely before the
+    purge (and is dropped with everything else) or entirely after it (a
+    fresh post-purge entry) — never a half-cleared state.  Safe against
+    in-flight matches too: live patterns and runtimes keep the rows they
+    already reference.
+    """
+    _CACHE.purge()
 
 
 def cache_stats() -> dict[str, int]:
@@ -303,19 +469,15 @@ def cache_stats() -> dict[str, int]:
     ``evictions`` is derived: every successful construction inserts one
     entry and only LRU eviction removes one (``purge`` resets all
     counters), so evictions = insertions − live entries.  Failed compiles
-    (syntax errors) count as misses but not insertions.  Sustained growth
-    of the eviction number is the signal to raise
-    :data:`COMPILE_CACHE_SIZE` — see ``examples/xsd_validation.py`` for
-    reading these under a real validation workload.
+    (syntax errors) count as misses but not insertions.  The snapshot is
+    taken under the cache lock, so the counters are mutually consistent
+    even while worker threads compile (``GET /stats`` on the validation
+    service reads them mid-traffic).  Sustained growth of the eviction
+    number is the signal to raise :data:`COMPILE_CACHE_SIZE` — see
+    ``examples/xsd_validation.py`` for reading these under a real
+    validation workload.
     """
-    info = _compile_cached.cache_info()
-    return {
-        "hits": info.hits,
-        "misses": info.misses,
-        "evictions": _build_count - info.currsize,
-        "size": info.currsize,
-        "max_size": info.maxsize,
-    }
+    return _CACHE.stats()
 
 
 def match(expr: Regex | str, word: str | Sequence[str], dialect: str = "paper") -> bool:

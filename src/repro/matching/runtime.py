@@ -36,6 +36,21 @@ deterministic, memoization can never change a verdict: the runtime and the
 wrapped matcher agree on every word by construction (the property tests
 check this against every registered strategy).
 
+**Concurrency contract** (the ``repro.service`` thread pool relies on it):
+warm reads are lock-free — stepping through an already-memoized transition
+touches only a list index plus a dict/array probe, with no lock in the
+path — while every *write* (first-time delegation to the wrapped matcher,
+row densification, acceptance memoization) happens under a per-runtime
+mutex with a double-check after acquisition.  Rows are only ever published
+in valid states: a dict row grows monotonically, and densification swaps
+the complete array in with one atomic list-slot store, so a reader racing
+a writer either sees the old (still correct) row or the new one.  Since
+the expression is deterministic, two threads racing to fill the same
+``(state, symbol)`` pair would compute the same target anyway — the lock
+exists to keep the *wrapped matcher's* lazy structures single-threaded,
+not to protect the verdict.  The shared dense-row registry has its own
+module-level lock.
+
 >>> from repro.matching import build_matcher
 >>> from repro.regex.parse_tree import build_parse_tree
 >>> runtime = CompiledRuntime(build_matcher(build_parse_tree("(ab)*"), verify=False))
@@ -55,6 +70,7 @@ The runtime preserves the streaming contract of the direct path:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from array import array
 from typing import Iterable, Sequence
@@ -104,10 +120,22 @@ _SHARED_ROWS: "weakref.WeakValueDictionary[tuple[int, ...], array[int]]" = (
     weakref.WeakValueDictionary()
 )
 
+#: Guards the registry: densifications can run concurrently on different
+#: runtimes (each holding only its own per-runtime lock), and a WeakValue
+#: dictionary additionally mutates itself from garbage-collection
+#: callbacks, so every get/insert/clear goes through this mutex.
+_ROWS_LOCK = threading.Lock()
+
+#: Guards first-time runtime attachment in :func:`compile_runtime` so two
+#: threads racing on a cold matcher share one runtime instead of each
+#: memoizing into a private copy.
+_ATTACH_LOCK = threading.Lock()
+
 
 def shared_row_count() -> int:
     """Number of distinct dense rows currently interned (telemetry)."""
-    return len(_SHARED_ROWS)
+    with _ROWS_LOCK:
+        return len(_SHARED_ROWS)
 
 
 def aggregate_stats(named_runtimes: Iterable[tuple[str, "CompiledRuntime"]]) -> dict[str, dict]:
@@ -139,9 +167,12 @@ def clear_shared_rows() -> None:
     """Drop the dense-row interning registry (``repro.purge`` calls this).
 
     Existing runtimes keep the array objects they already reference;
-    clearing only stops future densifications from aliasing them.
+    clearing only stops future densifications from aliasing them.  Safe
+    against in-flight matches: a match replaying a dense row holds a
+    direct reference to the array, never the registry entry.
     """
-    _SHARED_ROWS.clear()
+    with _ROWS_LOCK:
+        _SHARED_ROWS.clear()
 
 
 class CompiledRuntime:
@@ -168,6 +199,7 @@ class CompiledRuntime:
         "_start_state",
         "_width",
         "_densify_at",
+        "_lock",
         "misses",
         "row_dedups",
     )
@@ -189,6 +221,9 @@ class CompiledRuntime:
         #: alphabet width; dense rows have exactly this many entries
         self._width: int = len(self.alphabet)
         self._densify_at: int = densify_threshold(self._width)
+        #: single writer lock: first-time transitions, densification and
+        #: acceptance memoization serialize here (warm reads never do)
+        self._lock = threading.Lock()
         #: number of delegations to the wrapped matcher so far (cache misses)
         self.misses = 0
         #: densified rows that aliased an already-interned equal row
@@ -201,17 +236,35 @@ class CompiledRuntime:
 
     # -- the lazy transition function ---------------------------------------------
     def _miss(self, state: int, code: int) -> int:
-        """First lookup of ``(state, code)``: delegate to the wrapped matcher."""
+        """First lookup of ``(state, code)``: delegate to the wrapped matcher.
+
+        Callers hold :attr:`_lock`; the wrapped matcher may lazily grow its
+        own structures (skeleton indexes, candidate tables), so delegation
+        is never allowed to race.
+        """
         self.misses += 1
         following = self.matcher.next_position(self._positions[state], self._symbols[code])
         return DEAD if following is None else following.position_index
 
-    def _fill(self, state: int, row: dict[int, int], code: int) -> int:
-        """Memoize one transition into a dict *row*, densifying when due."""
-        target = row[code] = self._miss(state, code)
-        if len(row) >= self._densify_at:
-            self._densify(state, row)
-        return target
+    def _fill(self, state: int, code: int) -> int:
+        """Slow path: memoize one transition under the writer lock.
+
+        Double-checks after acquisition — another thread may have filled
+        the same ``(state, code)`` pair, or densified the whole row, between
+        the reader's lock-free probe and this call.
+        """
+        with self._lock:
+            row = self._rows[state]
+            if row is None:
+                row = self._rows[state] = {}
+            elif type(row) is not dict:  # densified while we waited
+                return row[code]
+            target = row.get(code)
+            if target is None:
+                target = row[code] = self._miss(state, code)
+                if len(row) >= self._densify_at:
+                    self._densify(state, row)
+            return target
 
     def _densify(self, state: int, row: dict[int, int]) -> None:
         """Promote a hot dict row to a completed, interned dense array row.
@@ -220,7 +273,9 @@ class CompiledRuntime:
         most ``|Σ|`` extra delegations, paid once per hot state), so the
         dense row is total and can be probed with a bare index.  The
         completed row is interned in :data:`_SHARED_ROWS`: structurally
-        equal rows collapse to one array object.
+        equal rows collapse to one array object.  Runs under :attr:`_lock`;
+        the swap into ``_rows`` is a single atomic list-slot store, and the
+        superseded dict row stays valid for any reader still probing it.
         """
         get = row.get
         miss = self._miss
@@ -229,11 +284,12 @@ class CompiledRuntime:
             if target is None:
                 entries[code] = miss(state, code)
         key = tuple(entries)
-        dense = _SHARED_ROWS.get(key)
-        if dense is None:
-            dense = _SHARED_ROWS[key] = array("i", entries)
-        else:
-            self.row_dedups += 1
+        with _ROWS_LOCK:
+            dense = _SHARED_ROWS.get(key)
+            if dense is None:
+                dense = _SHARED_ROWS[key] = array("i", entries)
+            else:
+                self.row_dedups += 1
         self._rows[state] = dense
 
     def step(self, state: int, code: int) -> int:
@@ -244,19 +300,21 @@ class CompiledRuntime:
         if type(row) is dict:
             target = row.get(code)
             if target is None:
-                target = self._fill(state, row, code)
+                target = self._fill(state, code)
             return target
         if row is None:
-            row = self._rows[state] = {}
-            return self._fill(state, row, code)
+            return self._fill(state, code)
         return row[code]
 
     def state_accepts(self, state: int) -> bool:
         """Memoized ``$ ∈ Follow(state)`` — may the word end in this state?"""
         verdict = self._accepts[state]
         if verdict < 0:
-            accepted = self.matcher.follow.accepts_at(self._positions[state])
-            verdict = self._accepts[state] = 1 if accepted else 0
+            with self._lock:
+                verdict = self._accepts[state]
+                if verdict < 0:
+                    accepted = self.matcher.follow.accepts_at(self._positions[state])
+                    verdict = self._accepts[state] = 1 if accepted else 0
         return verdict == 1
 
     # -- whole-word drivers ----------------------------------------------------------
@@ -276,10 +334,9 @@ class CompiledRuntime:
             if type(row) is dict:
                 target = row.get(code)
                 if target is None:
-                    target = self._fill(state, row, code)
+                    target = self._fill(state, code)
             elif row is None:
-                row = rows[state] = {}
-                target = self._fill(state, row, code)
+                target = self._fill(state, code)
             else:
                 target = row[code]
             if target < 0:
@@ -409,9 +466,15 @@ def compile_runtime(matcher: DeterministicMatcher) -> CompiledRuntime:
 
     The runtime is cached on the matcher so repeated calls — e.g. one per
     validated element of a large document — share every memoized row.
+    First-time attachment is serialized so two worker threads hitting a
+    cold matcher share one runtime (and its memoized rows) instead of
+    each building a private copy.
     """
     runtime = getattr(matcher, "_compiled_runtime", None)
     if runtime is None:
-        runtime = CompiledRuntime(matcher)
-        matcher._compiled_runtime = runtime
+        with _ATTACH_LOCK:
+            runtime = getattr(matcher, "_compiled_runtime", None)
+            if runtime is None:
+                runtime = CompiledRuntime(matcher)
+                matcher._compiled_runtime = runtime
     return runtime

@@ -76,32 +76,50 @@ class StarFreeMultiMatcher:
         """Return, for every word, whether it belongs to the language.
 
         All words are matched during a single scan of the expression's
-        positions in document order.
+        positions in document order.  Words are interned through the
+        tree's alphabet first; see :meth:`match_all_encoded` for callers
+        (``Pattern.match_all``, the validation service) that already hold
+        encoded corpora.
+        """
+        return self.match_all_encoded(self.tree.alphabet.encode_many(words))
+
+    def match_all_encoded(self, words: Sequence[Sequence[int]]) -> list[bool]:
+        """The single-scan batch matcher over alphabet-encoded words.
+
+        Identical to :meth:`match_all` but the per-symbol waiting stacks
+        are keyed by dense integer codes instead of symbol strings, so the
+        scan shares the interned alphabet with the compiled runtime: a
+        corpus is encoded once (``Alphabet.encode_many``) and every
+        dictionary probe in the hot loop hashes a small int.  Symbols
+        outside the alphabet encode to a negative code no scanned position
+        can carry, so such words simply never advance — the same verdict
+        the string-keyed scan produced.
         """
         follow = self.follow
         tree = self.tree
+        symbol_codes = tree.alphabet.codes
         results = [False] * len(words)
         # Index of the next symbol each word expects.
         cursors = [0] * len(words)
         # Position at which each fully-consumed word stopped (None = not finished).
         finished_at: list[TreeNode | None] = [None] * len(words)
-        # Per-symbol stacks of waiting entries, kept sorted by pre-order of position.
-        waiting: dict[str, list[_WaitingEntry]] = {}
+        # Per-code stacks of waiting entries, kept sorted by pre-order of position.
+        waiting: dict[int, list[_WaitingEntry]] = {}
         self.examined_entries = 0
 
         start = tree.start
         empty_accepts = follow.accepts_at(start)
-        initial: dict[str, list[int]] = {}
+        initial: dict[int, list[int]] = {}
         for word_id, word in enumerate(words):
             if len(word) == 0:
                 results[word_id] = empty_accepts
             else:
                 initial.setdefault(word[0], []).append(word_id)
-        for symbol, word_ids in initial.items():
-            waiting[symbol] = [_WaitingEntry(start, word_ids)]
+        for code, word_ids in initial.items():
+            waiting[code] = [_WaitingEntry(start, word_ids)]
 
         for scanned in tree.positions[1:-1]:  # every position of e', in document order
-            stack = waiting.get(scanned.symbol)
+            stack = waiting.get(symbol_codes[scanned.symbol])
             if not stack:
                 continue
             boundary = scanned.p_sup_first.parent if scanned.p_sup_first is not None else None
@@ -136,11 +154,11 @@ class StarFreeMultiMatcher:
                     finished_at[word_id] = scanned
                 else:
                     newly_waiting.append(word_id)
-            by_symbol: dict[str, list[int]] = {}
+            by_code: dict[int, list[int]] = {}
             for word_id in newly_waiting:
-                by_symbol.setdefault(words[word_id][cursors[word_id]], []).append(word_id)
-            for symbol, word_ids in by_symbol.items():
-                waiting.setdefault(symbol, []).append(_WaitingEntry(scanned, word_ids))
+                by_code.setdefault(words[word_id][cursors[word_id]], []).append(word_id)
+            for code, word_ids in by_code.items():
+                waiting.setdefault(code, []).append(_WaitingEntry(scanned, word_ids))
 
         for word_id, stopped_at in enumerate(finished_at):
             if stopped_at is not None:

@@ -143,9 +143,27 @@ class Alphabet:
         Symbols outside the alphabet map to :data:`UNKNOWN_CODE`; since no
         position is labelled with them, any matcher rejects the word at that
         symbol, and the compiled runtime does so with a single sign test.
+
+        Thread safety: once the alphabet is frozen the mapping never
+        mutates again, so encoding is lock-free from any number of threads
+        (``repro.service`` pre-encodes whole corpora on worker threads).
+        Incremental construction via :meth:`add` is *not* synchronized —
+        build and :meth:`freeze` on one thread before sharing, which is
+        exactly what the parse-tree builder does.
         """
         get = self._codes.get
         return [get(symbol, UNKNOWN_CODE) for symbol in word]
+
+    def encode_many(self, words: Iterable[Iterable[str]]) -> list[list[int]]:
+        """Encode a whole corpus in one pass (the batch APIs' front door).
+
+        One bound ``dict.get`` is hoisted across every word, so batch
+        callers (``Pattern.match_all``, the star-free multi-matcher, the
+        validation service) pay the method-dispatch cost once per corpus
+        instead of once per word.
+        """
+        get = self._codes.get
+        return [[get(symbol, UNKNOWN_CODE) for symbol in word] for word in words]
 
     def decode(self, codes: Sequence[int]) -> list[str]:
         """Inverse of :meth:`encode` for in-alphabet codes (tests, debugging).

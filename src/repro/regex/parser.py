@@ -84,13 +84,17 @@ def parse_word(text: str | Sequence[str]) -> list[str]:
     """
     if not isinstance(text, str):
         return [str(symbol) for symbol in text]
-    stripped = text.strip()
-    if not stripped:
+    if "," in text:
+        return text.replace(",", " ").split()
+    # One C-level split covers both the whitespace-separated and the
+    # per-character cases without a per-character Python scan — this runs
+    # once per word on every matching path, batch APIs included.
+    parts = text.split()
+    if not parts:
         return []
-    if any(ch.isspace() for ch in stripped) or "," in stripped:
-        parts = stripped.replace(",", " ").split()
+    if len(parts) > 1:
         return parts
-    return list(stripped)
+    return list(parts[0])
 
 
 class _Parser:

@@ -1,0 +1,41 @@
+"""repro.service — a concurrent validation service over the compiled engine.
+
+The ROADMAP's north star is a production-scale system serving heavy
+traffic; this package is the serving layer that turns the library's
+single-threaded building blocks into one.  It exists because the rest of
+the stack was made safe to share:
+
+* the module-level compile cache (:func:`repro.compile`) takes warm hits
+  lock-free and serialises misses/purges under one mutex;
+* :class:`~repro.matching.runtime.CompiledRuntime` rows are written under
+  a per-runtime lock while warm replay stays lock-free, so every worker
+  thread benefits from every other worker's memoized transitions — the
+  Li et al. observation (a few shared content models dominate real schema
+  corpora) turned into a shared warm cache;
+* the linear-time guarantee of the source paper keeps per-request latency
+  proportional to input size, which is what makes the p50/p99 counters
+  meaningful under load.
+
+Two entry points:
+
+* :class:`ValidationService` — an in-process facade owning a thread pool,
+  with batch operations (:meth:`~ValidationService.match_batch`,
+  :meth:`~ValidationService.validate_documents`) that pre-encode corpora
+  through the interned alphabet, and a :meth:`~ValidationService.stats`
+  snapshot aggregating every telemetry surface the library exposes;
+* :mod:`repro.service.http` — a stdlib-only HTTP front end
+  (``python -m repro.service``) with ``POST /match``, ``POST /validate``
+  and ``GET /stats``.
+
+See ``docs/service.md`` for endpoint shapes and deployment notes.
+"""
+
+from .core import DocumentVerdict, ValidationService
+from .http import ServiceHTTPServer, serve
+
+__all__ = [
+    "DocumentVerdict",
+    "ServiceHTTPServer",
+    "ValidationService",
+    "serve",
+]

@@ -1,0 +1,29 @@
+"""``python -m repro.service`` — boot the HTTP validation service."""
+
+from __future__ import annotations
+
+import argparse
+
+from .core import DEFAULT_WORKERS
+from .http import DEFAULT_HOST, DEFAULT_PORT, serve
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="HTTP validation service for deterministic regular expressions "
+        "(POST /match, POST /validate, GET /stats).",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, help=f"bind address (default {DEFAULT_HOST})")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help=f"bind port (default {DEFAULT_PORT}; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS, help=f"worker threads (default {DEFAULT_WORKERS})"
+    )
+    arguments = parser.parse_args(argv)
+    serve(host=arguments.host, port=arguments.port, workers=arguments.workers)
+
+
+if __name__ == "__main__":
+    main()

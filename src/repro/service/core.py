@@ -1,0 +1,324 @@
+"""The in-process validation service: a thread pool over the shared caches.
+
+:class:`ValidationService` is the object the HTTP layer (and any embedding
+application) talks to.  It owns a ``ThreadPoolExecutor`` and exposes batch
+operations whose per-item cost rides the warm paths built in earlier PRs:
+words and child sequences are interned once through the pattern's
+:class:`~repro.regex.alphabet.Alphabet`, then either answered in a single
+encoded-corpus pass of the star-free multi-matcher (Theorem 4.12) or
+replayed over the lazy-DFA rows every worker thread shares.
+
+Metrics are first-class: each public call is wrapped in a request context
+that maintains ``total`` / ``in_flight`` / ``errors`` counters and a
+bounded latency ring from which :meth:`ValidationService.stats` derives
+p50/p99.  The snapshot is taken under the metrics lock, so a ``GET
+/stats`` issued while requests are in flight sees mutually consistent
+numbers (``in_flight`` included).
+
+>>> service = ValidationService(workers=2)
+>>> service.match_batch("(ab+b(b?)a)*", ["abba", "bba", "bb"])
+[True, True, False]
+>>> service.stats()["requests"]["total"]
+1
+>>> service.close()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .. import api
+from ..matching.runtime import shared_row_count
+from ..regex.ast import Regex
+from ..xml.document import Document, Element
+from ..xml.dtd import DTD, parse_dtd
+from ..xml.parser import parse_document
+from ..xml.validator import DTDValidator
+from ..xml.xsd import XSDSchema, schema_from_dict
+
+#: Default worker-thread count; the acceptance workloads run at 8.
+DEFAULT_WORKERS = 8
+
+#: Batches smaller than this run inline on the calling thread — the
+#: cross-thread handoff costs more than matching a handful of words.
+MIN_CHUNK = 64
+
+#: How many distinct schemas/DTDs (keyed by payload) and patterns the
+#: service keeps warm for reuse and for the stats surface.
+MEMO_SIZE = 32
+
+#: Latency ring size: enough samples for stable p99 without unbounded
+#: memory on a long-lived process.
+LATENCY_WINDOW = 2048
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentVerdict:
+    """Per-document validation outcome, JSON-shaped for the HTTP layer."""
+
+    valid: bool
+    violations: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"valid": self.valid, "violations": list(self.violations)}
+
+
+class ValidationService:
+    """Batch matching and document validation over a shared thread pool.
+
+    All state the workers touch is either immutable, lock-free-readable
+    (warm cache rows) or guarded by the library's writer locks, so one
+    service instance serves any number of concurrent callers; the
+    acceptance tests pin down verdict-equivalence between 8 workers and a
+    single-threaded oracle.  Use as a context manager or call
+    :meth:`close` to release the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        min_chunk: int = MIN_CHUNK,
+        latency_window: int = LATENCY_WINDOW,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.min_chunk = max(1, min_chunk)
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-service")
+        self._metrics_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._in_flight = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        #: memoized validators built from wire payloads, keyed by payload
+        self._validators: "OrderedDict[str, DTDValidator | XSDSchema]" = OrderedDict()
+        #: recently served patterns, for the stats surface
+        self._patterns: "OrderedDict[str, api.Pattern]" = OrderedDict()
+        self._memo_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent); in-flight work completes."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request accounting -------------------------------------------------------------
+    @contextmanager
+    def _request(self):
+        start = time.perf_counter()
+        with self._metrics_lock:
+            self._requests += 1
+            self._in_flight += 1
+        try:
+            yield
+        except BaseException:
+            with self._metrics_lock:
+                self._errors += 1
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._metrics_lock:
+                self._in_flight -= 1
+                self._latencies.append(elapsed)
+
+    # -- fan-out plumbing ---------------------------------------------------------------
+    def _map_chunked(self, work, items: list, per_item_cost: int = 1):
+        """Apply *work* to every item, chunked across the pool, in order.
+
+        ``work`` receives a list (one chunk) and returns a list of results.
+        Chunk size follows the :data:`MIN_CHUNK` rule scaled down by
+        *per_item_cost* (documents are heavier than words), and a corpus
+        that fits one chunk runs inline — the pool handoff would dominate.
+        """
+        chunk = max(1, self.min_chunk // per_item_cost, -(-len(items) // self.workers))
+        if len(items) <= chunk or self.workers == 1:
+            return work(items)
+        futures = [
+            self._pool.submit(work, items[low : low + chunk])
+            for low in range(0, len(items), chunk)
+        ]
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    # -- batch matching -----------------------------------------------------------------
+    def match_batch(
+        self,
+        expr: Regex | str,
+        words: Iterable[str | Sequence[str]],
+        dialect: str = "paper",
+    ) -> list[bool]:
+        """Match a corpus of words against one pattern, in parallel.
+
+        The pattern comes from the module compile cache (warm across
+        requests and across service instances); the corpus is split into
+        chunks that each take the pattern's batch path —
+        ``Pattern.match_all`` pre-encodes the chunk through the interned
+        alphabet, then runs one star-free multi-matcher pass or a compiled
+        replay over the shared rows.  Order is preserved.  Small corpora
+        run inline: below :data:`MIN_CHUNK` words the pool handoff would
+        dominate the matching itself.
+        """
+        with self._request():
+            pattern = api.compile(expr, dialect=dialect)
+            self._remember_pattern(pattern, dialect)
+            return self._map_chunked(pattern.match_all, list(words))
+
+    # -- document validation ---------------------------------------------------------------
+    def validate_documents(
+        self,
+        schema: DTDValidator | XSDSchema | DTD,
+        documents: Sequence[Document | Element],
+    ) -> list[DocumentVerdict]:
+        """Validate many documents against one schema, one verdict each.
+
+        *schema* may be a prepared :class:`~repro.xml.validator.DTDValidator`,
+        an :class:`~repro.xml.xsd.XSDSchema`, or a raw
+        :class:`~repro.xml.dtd.DTD` (wrapped in a validator on the fly).
+        Documents fan out across the worker pool in chunks (sized like
+        :meth:`match_batch`'s, scaled for the heavier per-item cost); they
+        all replay the same warm per-model runtimes, so the marginal
+        document costs pure transition replay.  DTD verdicts carry the
+        violation messages, XSD verdicts the boolean outcome.
+        """
+        with self._request():
+            validator = DTDValidator(schema) if isinstance(schema, DTD) else schema
+
+            def verdicts(chunk: list) -> list[DocumentVerdict]:
+                return [self._verdict(validator, document) for document in chunk]
+
+            return self._map_chunked(verdicts, list(documents), per_item_cost=8)
+
+    def validate_document_texts(
+        self,
+        schema: DTDValidator | XSDSchema | DTD,
+        texts: Sequence[str],
+    ) -> list[DocumentVerdict]:
+        """Validate documents given as XML text — the ``POST /validate`` body.
+
+        Parsing is usually the dominant per-document cost, so it happens
+        *inside* the fan-out: each worker chunk parses and validates its
+        own documents instead of the caller parsing the whole corpus
+        serially before any validation starts.
+        """
+        with self._request():
+            validator = DTDValidator(schema) if isinstance(schema, DTD) else schema
+
+            def verdicts(chunk: list) -> list[DocumentVerdict]:
+                return [self._verdict(validator, parse_document(text)) for text in chunk]
+
+            return self._map_chunked(verdicts, list(texts), per_item_cost=8)
+
+    @staticmethod
+    def _verdict(validator: DTDValidator | XSDSchema, document: Document | Element) -> DocumentVerdict:
+        if isinstance(validator, XSDSchema):
+            root = document.root if isinstance(document, Document) else document
+            return DocumentVerdict(validator.validate_element(root))
+        violations = validator.validate(document)
+        return DocumentVerdict(not violations, tuple(v.describe() for v in violations))
+
+    # -- wire-payload schema memo --------------------------------------------------------
+    def validator_for_dtd(self, dtd_text: str) -> DTDValidator:
+        """A (memoized) validator for a DTD given as text — the HTTP path.
+
+        Keyed by the payload itself, so repeated ``POST /validate`` calls
+        carrying the same DTD reuse one validator — and therefore the warm
+        content-model patterns behind it.
+        """
+        return self._memoized("dtd:" + dtd_text, lambda: DTDValidator(parse_dtd(dtd_text)))
+
+    def schema_for_payload(self, payload_key: str, data: dict) -> XSDSchema:
+        """A (memoized) :class:`XSDSchema` built from its JSON wire shape."""
+        return self._memoized("xsd:" + payload_key, lambda: schema_from_dict(data))
+
+    def _memo_put(self, memo: OrderedDict, key: str, value, replace: bool = False) -> object:
+        """Insert into a bounded LRU memo and return the entry kept.
+
+        The one place the lock + ``move_to_end`` + bounded ``popitem``
+        dance lives, shared by the validator and pattern memos.  Without
+        *replace* the first writer of a key wins (racing builders of one
+        schema converge on a single validator); with it the newest value
+        wins (the pattern memo must track post-purge recompiles).
+        """
+        with self._memo_lock:
+            if replace:
+                winner = memo[key] = value
+            else:
+                winner = memo.setdefault(key, value)
+            memo.move_to_end(key)
+            while len(memo) > MEMO_SIZE:
+                memo.popitem(last=False)
+            return winner
+
+    def _memoized(self, key: str, build):
+        memo = self._validators
+        with self._memo_lock:
+            hit = memo.get(key)
+            if hit is not None:
+                memo.move_to_end(key)
+                return hit
+        # Build outside the lock: parsing/compiling can be slow.  A racing
+        # builder of the same key is tolerated; setdefault keeps the first.
+        return self._memo_put(memo, key, build())
+
+    def _remember_pattern(self, pattern: api.Pattern, dialect: str) -> None:
+        self._memo_put(self._patterns, f"{dialect}:{pattern.expression}", pattern, replace=True)
+
+    # -- telemetry -----------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One consistent snapshot of every telemetry surface.
+
+        ``requests`` (total / errors / in_flight / p50_ms / p99_ms) comes
+        from this service's own counters; ``pattern_cache`` is
+        :func:`repro.cache_stats`; ``patterns`` maps recently served
+        patterns to their :meth:`~repro.api.Pattern.runtime_stats`;
+        ``validators`` maps memoized wire schemas to their
+        ``stats()`` aggregates; ``shared_rows`` counts interned dense rows
+        process-wide.
+        """
+        with self._metrics_lock:
+            latencies = sorted(self._latencies)
+            requests = {
+                "total": self._requests,
+                "errors": self._errors,
+                "in_flight": self._in_flight,
+                "p50_ms": _percentile_ms(latencies, 0.50),
+                "p99_ms": _percentile_ms(latencies, 0.99),
+            }
+        with self._memo_lock:
+            patterns = {
+                key: pattern.runtime_stats() for key, pattern in self._patterns.items()
+            }
+            validators = {
+                key: validator.stats() for key, validator in self._validators.items()
+            }
+        return {
+            "service": {"workers": self.workers, "closed": self._closed},
+            "requests": requests,
+            "pattern_cache": api.cache_stats(),
+            "patterns": patterns,
+            "validators": validators,
+            "shared_rows": shared_row_count(),
+        }
+
+
+def _percentile_ms(sorted_latencies: list[float], quantile: float) -> float | None:
+    """Nearest-rank percentile of a sorted latency list, in milliseconds."""
+    if not sorted_latencies:
+        return None
+    rank = min(len(sorted_latencies) - 1, int(quantile * len(sorted_latencies)))
+    return round(sorted_latencies[rank] * 1000.0, 3)

@@ -1,0 +1,252 @@
+"""Stdlib-only HTTP front end for the validation service.
+
+``ThreadingHTTPServer`` gives one handler thread per connection; handlers
+delegate to a shared :class:`~repro.service.core.ValidationService`, whose
+worker pool and warm caches do the actual matching.  No third-party web
+framework is involved — the deployment story is ``python -m repro.service``
+behind any reverse proxy.
+
+Endpoints (JSON in, JSON out; shapes documented in ``docs/service.md``):
+
+``POST /match``
+    ``{"pattern": "(ab)*", "words": ["abab", ...], "dialect": "paper"}``
+    → ``{"verdicts": [true, ...], "strategy": ..., "batch_path": ...}``.
+    Non-deterministic patterns are a *422* with the conflict explanation —
+    determinism is a property of the input, not a server fault.
+
+``POST /validate``
+    ``{"dtd": "<!ELEMENT ...>", "documents": ["<a>...</a>", ...]}`` or
+    ``{"xsd": {"root": ..., "elements": {...}}, "documents": [...]}``
+    → ``{"verdicts": [{"valid": ..., "violations": [...]}, ...]}``.
+
+``GET /stats``
+    The service's consistent telemetry snapshot (request counters with
+    p50/p99, compile-cache stats, per-pattern runtime stats, per-schema
+    validator stats, shared dense-row count).
+
+``GET /healthz``
+    Liveness probe: ``{"status": "ok"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import NotDeterministicError, ReproError
+from .core import DEFAULT_WORKERS, ValidationService
+
+#: Default bind address of ``python -m repro.service``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8421
+
+#: Reject request bodies beyond this size (bytes) instead of buffering them.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ValidationService`.
+
+    Pass an existing service to share its pool and memos; otherwise one is
+    created (and closed again by :meth:`server_close`).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ValidationService | None = None):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service if service is not None else ValidationService()
+        self._owns_service = service is None
+
+    def server_close(self) -> None:  # noqa: D102 - stdlib override
+        super().server_close()
+        if self._owns_service:
+            self.service.close()
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests into the shared service and speaks JSON."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler prints one line per request to stderr; a busy
+    # service would drown real diagnostics, so access logging is off.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> ValidationService:
+        return self.server.service
+
+    # -- plumbing -----------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Error paths that could not consume the request body set this;
+            # advertise the close instead of silently dropping the socket.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json(self) -> dict | None:
+        """The request body as a JSON object, or ``None`` after a 4xx reply.
+
+        Error replies issued *before* the body has been consumed also mark
+        the connection for closing: under HTTP/1.1 keep-alive the unread
+        body bytes would otherwise be parsed as the client's next request
+        line, desyncing the connection.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", "") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0:
+            self.close_connection = True  # unknown body length: cannot resync
+            self._send_error_json(400, "a JSON body with Content-Length is required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # refuse to drain an oversized body
+            self._send_error_json(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_error_json(400, f"invalid JSON body: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "the JSON body must be an object")
+            return None
+        return payload
+
+    # -- routes -------------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        if self.path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif self.path in ("/", "/healthz"):
+            self._send_json(200, {"status": "ok", "service": "repro"})
+        else:
+            self._send_error_json(404, f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        handler = {"/match": self._handle_match, "/validate": self._handle_validate}.get(self.path)
+        if handler is None:
+            self.close_connection = True  # body unread: keep-alive would desync
+            self._send_error_json(404, f"no such endpoint: {self.path}")
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            handler(payload)
+        except NotDeterministicError as error:
+            # Unprocessable input, not a server fault: the expression (or a
+            # content model) fails the paper's determinism requirement.
+            self._send_error_json(422, str(error))
+        except ReproError as error:
+            self._send_error_json(400, str(error))
+        except (TypeError, ValueError, KeyError) as error:
+            self._send_error_json(400, f"malformed request: {error!r}")
+
+    # -- endpoint bodies -----------------------------------------------------------------
+    def _handle_match(self, payload: dict) -> None:
+        expr = payload.get("pattern")
+        if not isinstance(expr, str):
+            self._send_error_json(400, 'a string "pattern" field is required')
+            return
+        words = payload.get("words")
+        if not isinstance(words, list):
+            self._send_error_json(400, 'a list "words" field is required')
+            return
+        dialect = payload.get("dialect", "paper")
+        from .. import api
+
+        pattern = api.compile(expr, dialect=dialect)
+        if not pattern.is_deterministic:
+            self._send_error_json(422, f"pattern is not deterministic: {pattern.explain()}")
+            return
+        verdicts = self.service.match_batch(expr, words, dialect=dialect)
+        description = pattern.describe()
+        self._send_json(
+            200,
+            {
+                "pattern": expr,
+                "count": len(verdicts),
+                "verdicts": verdicts,
+                "strategy": description.get("strategy"),
+                "batch_path": description.get("batch_path"),
+            },
+        )
+
+    def _handle_validate(self, payload: dict) -> None:
+        documents = payload.get("documents")
+        if not isinstance(documents, list):
+            self._send_error_json(400, 'a list "documents" field (XML text) is required')
+            return
+        dtd_text = payload.get("dtd")
+        xsd_data = payload.get("xsd")
+        if (dtd_text is None) == (xsd_data is None):
+            self._send_error_json(400, 'exactly one of "dtd" (text) or "xsd" (object) is required')
+            return
+        if dtd_text is not None:
+            if not isinstance(dtd_text, str):
+                self._send_error_json(400, '"dtd" must be the DTD as a string')
+                return
+            validator = self.service.validator_for_dtd(dtd_text)
+            kind = "dtd"
+        else:
+            if not isinstance(xsd_data, dict):
+                self._send_error_json(400, '"xsd" must be a schema object')
+                return
+            validator = self.service.schema_for_payload(
+                json.dumps(xsd_data, sort_keys=True), xsd_data
+            )
+            if not validator.is_valid_schema():
+                self._send_error_json(
+                    422, "schema violates Unique Particle Attribution (non-deterministic)"
+                )
+                return
+            kind = "xsd"
+        if not all(isinstance(text, str) for text in documents):
+            self._send_error_json(400, '"documents" must be a list of XML strings')
+            return
+        # Parsing happens inside the worker fan-out, chunk by chunk — for
+        # large corpora it is the dominant per-document cost and must not
+        # run serially on this handler thread.
+        verdicts = self.service.validate_document_texts(validator, documents)
+        self._send_json(
+            200,
+            {
+                "schema": kind,
+                "count": len(verdicts),
+                "verdicts": [verdict.to_dict() for verdict in verdicts],
+            },
+        )
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = DEFAULT_WORKERS,
+) -> None:
+    """Run the service until interrupted (the ``python -m repro.service`` body)."""
+    service = ValidationService(workers=workers)
+    server = ServiceHTTPServer((host, port), service)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro.service listening on http://{bound_host}:{bound_port} "
+        f"({workers} workers) — POST /match, POST /validate, GET /stats"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()

@@ -17,7 +17,15 @@ from .dtd import (
 )
 from .parser import ParsedXML, parse_document, parse_xml
 from .validator import DTDValidator, StreamingContentChecker, Violation
-from .xsd import Particle, XSDSchema, choice, element_particle, sequence
+from .xsd import (
+    Particle,
+    XSDSchema,
+    choice,
+    element_particle,
+    particle_from_dict,
+    schema_from_dict,
+    sequence,
+)
 
 __all__ = [
     "ContentModel",
@@ -39,5 +47,7 @@ __all__ = [
     "parse_document",
     "parse_dtd",
     "parse_xml",
+    "particle_from_dict",
+    "schema_from_dict",
     "sequence",
 ]

@@ -92,12 +92,29 @@ class DTDValidator:
 
     # -- document-level API -----------------------------------------------------------------
     def validate(self, document: Document | Element) -> list[Violation]:
-        """Return every violation found in *document* (empty list = valid)."""
+        """Return every violation found in *document* (empty list = valid).
+
+        Thread-safe: a validator is immutable once constructed — its
+        matchers and runtimes come from the (locked) module compile cache,
+        and the runtimes synchronise their own row materialization — so one
+        validator instance may be shared by any number of worker threads
+        (the ``repro.service`` thread pool does exactly that).
+        """
         root = document.root if isinstance(document, Document) else document
         violations: list[Violation] = []
         for element in root.iter_elements():
             violations.extend(self.validate_element(element))
         return violations
+
+    def validate_many(self, documents: Sequence[Document | Element]) -> list[list[Violation]]:
+        """Validate a corpus of documents; one violation list per document.
+
+        The batch front door the validation service fans out over its
+        worker threads: every document replays the same warm per-model
+        runtimes, so the per-document cost after the first is pure
+        transition replay.
+        """
+        return [self.validate(document) for document in documents]
 
     def is_valid(self, document: Document | Element) -> bool:
         """True when the document has no violations."""

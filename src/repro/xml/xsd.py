@@ -37,6 +37,7 @@ True
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -103,6 +104,19 @@ class Particle:
         upper = "unbounded" if self.max_occurs is None else str(self.max_occurs)
         return f"{body}{{{self.min_occurs},{upper}}}"
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable rendering (the validation service's wire shape).
+
+        ``max`` is ``None`` for *unbounded*, matching JSON ``null``;
+        :func:`particle_from_dict` is the exact inverse.
+        """
+        data: dict = {"kind": self.kind, "min": self.min_occurs, "max": self.max_occurs}
+        if self.kind == "element":
+            data["name"] = self.name
+        else:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
 
 def element_particle(name: str, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
     """An element particle ``<xs:element name=... minOccurs=... maxOccurs=...>``."""
@@ -117,6 +131,50 @@ def sequence(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 
 def choice(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
     """A ``<xs:choice>`` compositor."""
     return Particle("choice", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs)
+
+
+def particle_from_dict(data: dict) -> Particle:
+    """Rebuild a :class:`Particle` from its :meth:`~Particle.to_dict` shape.
+
+    The shape is the one ``POST /validate`` accepts on the HTTP service::
+
+        {"kind": "sequence", "min": 1, "max": 1, "children": [
+            {"kind": "element", "name": "item", "min": 1, "max": null}]}
+
+    Validation of the field values (kinds, bounds) is delegated to the
+    :class:`Particle` constructor, so malformed payloads raise the same
+    :class:`~repro.errors.InvalidExpressionError` the Python API raises.
+    """
+    if not isinstance(data, dict):
+        raise InvalidExpressionError(f"particle must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind not in ("element", "sequence", "choice"):
+        raise InvalidExpressionError(f"unknown particle kind {kind!r}")
+    children = tuple(particle_from_dict(child) for child in data.get("children", ()))
+    return Particle(
+        kind,
+        name=data.get("name"),
+        children=children,
+        min_occurs=data.get("min", 1),
+        max_occurs=data.get("max", 1),
+    )
+
+
+def schema_from_dict(data: dict) -> "XSDSchema":
+    """Rebuild an :class:`XSDSchema` from ``{"root": ..., "elements": {...}}``.
+
+    Inverse of :meth:`XSDSchema.to_dict`; element values are
+    :func:`particle_from_dict` shapes.
+    """
+    if not isinstance(data, dict):
+        raise InvalidExpressionError(f"schema must be a JSON object, got {type(data).__name__}")
+    elements = data.get("elements")
+    if not isinstance(elements, dict):
+        raise InvalidExpressionError('schema needs an "elements" object mapping names to particles')
+    schema = XSDSchema(root=data.get("root"))
+    for name, particle in elements.items():
+        schema.declare(name, particle_from_dict(particle))
+    return schema
 
 
 @dataclass(slots=True)
@@ -137,14 +195,32 @@ class XSDSchema:
     #: else the direct matcher); memoized so the per-element cost of
     #: validation is one dict probe, with no Pattern property traffic.
     _engines: dict = field(default_factory=dict, repr=False)
+    #: serialises memo misses so concurrent validators resolve one engine
+    #: per element; warm validation probes the memo dicts lock-free.
+    #: Re-entrant because the engine miss path resolves the pattern memo
+    #: while already holding it.
+    _memo_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def declare(self, name: str, particle: Particle) -> None:
-        """Declare the content particle of element *name* (re-declaration allowed)."""
+        """Declare the content particle of element *name* (re-declaration allowed).
+
+        Declarations are a build-time operation: concurrent *validation* of
+        a fully declared schema is thread-safe, re-declaring an element
+        while other threads validate it is not.
+        """
         self.types[name] = particle
         # Invalidate the per-element memos; the underlying Pattern stays in
         # the module cache for any other schema still declaring it.
-        self._patterns.pop(name, None)
-        self._engines.pop(name, None)
+        with self._memo_lock:
+            self._patterns.pop(name, None)
+            self._engines.pop(name, None)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable rendering; :func:`schema_from_dict` is the inverse."""
+        return {
+            "root": self.root,
+            "elements": {name: particle.to_dict() for name, particle in self.types.items()},
+        }
 
     def particle(self, name: str) -> Particle | None:
         """The declared particle of *name* (or ``None``)."""
@@ -179,17 +255,21 @@ class XSDSchema:
         content model.
         """
         engines = self._engines
-        if name in engines:
+        if name in engines:  # lock-free warm probe (the per-element steady state)
             engine = engines[name]
         else:
-            pattern = self._pattern_for(name)
-            if pattern is None:
-                engine = None
-            elif self.compiled:
-                engine = pattern.runtime
-            else:
-                engine = pattern.matcher
-            engine = engines[name] = engine
+            with self._memo_lock:
+                if name in engines:
+                    engine = engines[name]
+                else:
+                    pattern = self._pattern_for(name)
+                    if pattern is None:
+                        engine = None
+                    elif self.compiled:
+                        engine = pattern.runtime
+                    else:
+                        engine = pattern.matcher
+                    engine = engines[name] = engine
         if engine is None:
             return True  # undeclared elements are unconstrained in this mini-schema
         # Dispatch on what was memoized, not on the (mutable) `compiled`
@@ -214,15 +294,18 @@ class XSDSchema:
         structurally equal expression.
         """
         patterns = self._patterns
-        if name not in patterns:
-            particle = self.types.get(name)
-            if particle is None:
-                patterns[name] = None
-            else:
-                from ..api import compile as compile_pattern
+        if name in patterns:  # lock-free warm probe
+            return patterns[name]
+        with self._memo_lock:
+            if name not in patterns:
+                particle = self.types.get(name)
+                if particle is None:
+                    patterns[name] = None
+                else:
+                    from ..api import compile as compile_pattern
 
-                patterns[name] = compile_pattern(particle.to_regex())
-        return patterns[name]
+                    patterns[name] = compile_pattern(particle.to_regex())
+            return patterns[name]
 
     def _matcher_for(self, name: str):
         """The matcher of *name*'s content model (memoized; ``None`` if undeclared).

@@ -22,6 +22,7 @@ import pytest
 
 import repro.api
 import repro.matching.runtime
+import repro.service.core
 import repro.xml.xsd
 
 ROOT = Path(__file__).resolve().parents[2]
@@ -37,7 +38,7 @@ def test_readme_doctests_pass():
 
 @pytest.mark.parametrize(
     "module",
-    [repro.api, repro.matching.runtime, repro.xml.xsd],
+    [repro.api, repro.matching.runtime, repro.xml.xsd, repro.service.core],
     ids=lambda module: module.__name__,
 )
 def test_module_docstring_examples_pass(module):

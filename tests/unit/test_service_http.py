@@ -1,0 +1,247 @@
+"""End-to-end tests of the stdlib HTTP front end (``repro.service.http``).
+
+A real server is booted on an ephemeral port once per module; requests go
+through ``urllib`` exactly as an external client's would, so routing,
+status codes, JSON envelopes and error mapping are all exercised over a
+socket rather than by calling handler methods directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.service import ServiceHTTPServer, ValidationService
+
+DTD_TEXT = "<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>"
+
+
+@pytest.fixture(scope="module")
+def server_port():
+    service = ValidationService(workers=4)
+    server = ServiceHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address[1]
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def _get(port: int, path: str):
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(port: int, path: str, payload, raw: bytes | None = None):
+    body = raw if raw is not None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestMatchEndpoint:
+    def test_batch_verdicts_match_the_library(self, server_port):
+        words = ["abba", "bba", "bb", "", "ab"]
+        status, body = _post(server_port, "/match", {"pattern": "(ab+b(b?)a)*", "words": words})
+        assert status == 200
+        oracle = repro.Pattern("(ab+b(b?)a)*", compiled=False)
+        assert body["verdicts"] == [oracle.match(word) for word in words]
+        assert body["count"] == len(words)
+        assert body["batch_path"] == "compiled-runtime"
+
+    def test_star_free_pattern_reports_its_batch_path(self, server_port):
+        status, body = _post(
+            server_port, "/match", {"pattern": "(a+b)(c?)d", "words": ["acd", "bd", "dd"]}
+        )
+        assert status == 200
+        assert body["verdicts"] == [True, True, False]
+        assert body["batch_path"] == "star-free-multi"
+
+    def test_words_may_be_symbol_lists(self, server_port):
+        status, body = _post(
+            server_port, "/match", {"pattern": "(ab)*", "words": [["a", "b"], ["b"]]}
+        )
+        assert status == 200
+        assert body["verdicts"] == [True, False]
+
+    def test_non_deterministic_pattern_is_422(self, server_port):
+        status, body = _post(server_port, "/match", {"pattern": "(a*ba+bb)*", "words": ["bb"]})
+        assert status == 422
+        assert "deterministic" in body["error"]
+
+    def test_syntax_error_is_400(self, server_port):
+        status, body = _post(server_port, "/match", {"pattern": "((", "words": []})
+        assert status == 400
+        assert "error" in body
+
+    def test_missing_fields_are_400(self, server_port):
+        assert _post(server_port, "/match", {"words": ["a"]})[0] == 400
+        assert _post(server_port, "/match", {"pattern": "(ab)*"})[0] == 400
+        assert _post(server_port, "/match", {"pattern": "(ab)*", "words": "ab"})[0] == 400
+
+
+class TestValidateEndpoint:
+    def test_dtd_validation_with_violation_messages(self, server_port):
+        status, body = _post(
+            server_port,
+            "/validate",
+            {"dtd": DTD_TEXT, "documents": ["<a><b/></a>", "<a><c/><b/></a>"]},
+        )
+        assert status == 200
+        assert body["schema"] == "dtd"
+        assert [verdict["valid"] for verdict in body["verdicts"]] == [True, False]
+        assert body["verdicts"][1]["violations"]
+
+    def test_xsd_validation(self, server_port):
+        schema = {
+            "root": "a",
+            "elements": {
+                "a": {
+                    "kind": "sequence",
+                    "min": 1,
+                    "max": 1,
+                    "children": [
+                        {"kind": "element", "name": "b", "min": 1, "max": 2},
+                        {"kind": "element", "name": "c", "min": 0, "max": 1},
+                    ],
+                }
+            },
+        }
+        status, body = _post(
+            server_port,
+            "/validate",
+            {"xsd": schema, "documents": ["<a><b/><b/><c/></a>", "<a><b/><b/><b/></a>"]},
+        )
+        assert status == 200
+        assert body["schema"] == "xsd"
+        assert [verdict["valid"] for verdict in body["verdicts"]] == [True, False]
+
+    def test_upa_violating_schema_is_422(self, server_port):
+        schema = {
+            "elements": {
+                "a": {
+                    "kind": "sequence",
+                    "min": 1,
+                    "max": 1,
+                    "children": [
+                        {"kind": "element", "name": "b", "min": 0, "max": 2},
+                        {"kind": "element", "name": "b", "min": 1, "max": 1},
+                    ],
+                }
+            }
+        }
+        status, body = _post(server_port, "/validate", {"xsd": schema, "documents": []})
+        assert status == 422
+        assert "Particle" in body["error"]
+
+    def test_malformed_xml_is_400(self, server_port):
+        status, _ = _post(server_port, "/validate", {"dtd": DTD_TEXT, "documents": ["<a><b>"]})
+        assert status == 400
+
+    def test_requires_exactly_one_schema_kind(self, server_port):
+        assert _post(server_port, "/validate", {"documents": []})[0] == 400
+        payload = {"dtd": DTD_TEXT, "xsd": {"elements": {}}, "documents": []}
+        assert _post(server_port, "/validate", payload)[0] == 400
+
+
+class TestPlumbing:
+    def test_stats_endpoint_aggregates_all_surfaces(self, server_port):
+        _post(server_port, "/match", {"pattern": "(ab)*", "words": ["ab"]})
+        status, body = _get(server_port, "/stats")
+        assert status == 200
+        assert {"service", "requests", "pattern_cache", "patterns", "validators", "shared_rows"} <= set(body)
+        requests = body["requests"]
+        assert requests["total"] >= 1
+        assert requests["in_flight"] == 0
+        assert requests["p50_ms"] is not None
+        assert body["pattern_cache"]["max_size"] == repro.COMPILE_CACHE_SIZE
+
+    def test_healthz(self, server_port):
+        assert _get(server_port, "/healthz")[0] == 200
+
+    def test_unknown_routes_are_404(self, server_port):
+        assert _get(server_port, "/nope")[0] == 404
+        assert _post(server_port, "/nope", {})[0] == 404
+
+    def test_invalid_json_is_400(self, server_port):
+        status, body = _post(server_port, "/match", None, raw=b"{not json")
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, server_port):
+        status, _ = _post(server_port, "/match", ["a", "b"])
+        assert status == 400
+
+    def test_keep_alive_connection_survives_across_requests(self, server_port):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", server_port)
+        try:
+            for _ in range(3):  # one persistent connection, three requests
+                connection.request(
+                    "POST",
+                    "/match",
+                    body=json.dumps({"pattern": "(ab)*", "words": ["ab"]}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["verdicts"] == [True]
+        finally:
+            connection.close()
+
+    def test_unconsumed_body_errors_close_the_connection(self, server_port):
+        """Error replies sent before the body was read must not leave the
+        unread bytes to be parsed as the next request (keep-alive desync)."""
+        import http.client
+
+        body = json.dumps({"pattern": "(ab)*", "words": ["ab"]})
+        connection = http.client.HTTPConnection("127.0.0.1", server_port)
+        try:
+            connection.request(
+                "POST", "/nope", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_concurrent_clients_get_consistent_answers(self, server_port):
+        words = ["abba", "bb", "bba"]
+        oracle = repro.Pattern("(ab+b(b?)a)*", compiled=False)
+        expected = [oracle.match(word) for word in words]
+        failures: list[object] = []
+
+        def client():
+            status, body = _post(
+                server_port, "/match", {"pattern": "(ab+b(b?)a)*", "words": words}
+            )
+            if status != 200 or body["verdicts"] != expected:
+                failures.append((status, body))
+
+        threads = [threading.Thread(target=client) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures[0]
