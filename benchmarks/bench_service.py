@@ -18,11 +18,13 @@ over rows shared by every worker.  This module tracks that gap:
 
 from __future__ import annotations
 
+import json
 import random
 import time
+import urllib.request
 
 import repro
-from repro.service import ValidationService
+from repro.service import ServiceHTTPServer, ValidationService
 
 #: One starred pattern (compiled-runtime batch path) and one star-free
 #: pattern (multi-matcher batch path); the gate covers both.
@@ -111,6 +113,40 @@ def _best_of(rounds: int, work) -> float:
         work()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def test_http_round_trip_on_an_ephemeral_port():
+    """One real HTTP batch request against a server on an ephemeral port.
+
+    Port 0 lets the kernel pick a free port which is then read back from
+    ``server_address`` — a fixed port collides with whatever else a
+    shared CI runner is doing (the ci.yml smoke step reads the bound
+    port back the same way).
+    """
+    import threading
+
+    words, oracle = _corpus(PATTERNS["starred"])
+    with ValidationService(workers=4) as service:
+        server = ServiceHTTPServer(("127.0.0.1", 0), service)
+        port = server.server_address[1]
+        assert port != 0
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/match",
+                data=json.dumps(
+                    {"pattern": PATTERNS["starred"], "words": words}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.load(response)
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+    assert body["verdicts"] == oracle
 
 
 def test_batch_speedup_at_least_3x():

@@ -40,7 +40,8 @@ def test_streaming_child_checks(benchmark, products):
             checker = validator.checker_for(element.name)
             if checker is None:
                 continue
-            if all(checker.feed(child) for child in element.child_sequence()) and checker.complete():
+            children_ok = all(checker.feed(child) for child in element.child_sequence())
+            if children_ok and checker.complete():
                 valid += 1
         return valid
 

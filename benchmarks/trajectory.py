@@ -1,0 +1,117 @@
+"""Merge pytest-benchmark JSON artifacts into one perf-trajectory file.
+
+Every benchmark job in CI uploads a ``BENCH_<name>.json`` produced by
+``--benchmark-json``; until now they sat in separate artifacts that
+nobody ever lined up.  The ``perf-trajectory`` job downloads all of them
+into one directory and runs this script (stdlib only, runnable locally
+the same way)::
+
+    python benchmarks/trajectory.py bench-artifacts/*.json \
+        --out BENCH_trajectory.json --markdown
+
+It writes one merged artifact mapping benchmark name → median seconds /
+ops-per-second / rounds / source file, and (with ``--markdown``) prints
+a comparison table for the GitHub job summary.  Comparing the merged
+artifact across commits is the perf trajectory: any benchmark whose
+median drifts between two runs shows up as one line diff in one file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def merge(paths: list[str | Path]) -> dict:
+    """Fold pytest-benchmark JSON files into one name-keyed mapping.
+
+    Duplicate benchmark names across files keep the entry with the most
+    rounds (the better-sampled measurement) — CI matrices can run the
+    same file twice.  Files that are not pytest-benchmark output are
+    reported in ``"skipped"`` rather than aborting the merge.
+    """
+    benchmarks: dict[str, dict] = {}
+    sources: list[str] = []
+    skipped: list[str] = []
+    for path in sorted(str(p) for p in paths):
+        try:
+            data = json.loads(Path(path).read_text())
+            entries = data["benchmarks"]
+        except (OSError, ValueError, KeyError, TypeError):
+            skipped.append(path)
+            continue
+        sources.append(path)
+        for entry in entries:
+            try:
+                name = entry["name"]
+                stats = entry["stats"]
+                record = {
+                    "median_s": stats["median"],
+                    "mean_s": stats["mean"],
+                    "ops": stats["ops"],
+                    "rounds": stats["rounds"],
+                    "source": Path(path).name,
+                }
+            except (KeyError, TypeError):
+                skipped.append(f"{path}::{entry.get('name', '?')}")
+                continue
+            current = benchmarks.get(name)
+            if current is None or record["rounds"] > current["rounds"]:
+                benchmarks[name] = record
+    return {
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "sources": sources,
+        "skipped": skipped,
+    }
+
+
+def _format_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.3f} µs"
+
+
+def to_markdown(merged: dict) -> str:
+    """A GitHub-flavoured comparison table of the merged benchmarks."""
+    lines = [
+        "## Benchmark trajectory",
+        "",
+        f"{len(merged['benchmarks'])} benchmarks from {len(merged['sources'])} artifacts.",
+        "",
+        "| benchmark | median | ops/s | rounds | source |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, record in merged["benchmarks"].items():
+        lines.append(
+            f"| `{name}` | {_format_time(record['median_s'])} "
+            f"| {record['ops']:,.2f} | {record['rounds']} | {record['source']} |"
+        )
+    if merged["skipped"]:
+        lines += ["", f"Skipped non-benchmark inputs: {', '.join(merged['skipped'])}"]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="pytest-benchmark JSON files (BENCH_*.json)")
+    parser.add_argument("--out", default="BENCH_trajectory.json", help="merged output path")
+    parser.add_argument(
+        "--markdown", action="store_true", help="print a markdown table to stdout"
+    )
+    arguments = parser.parse_args(argv)
+    merged = merge(arguments.inputs)
+    Path(arguments.out).write_text(json.dumps(merged, indent=2) + "\n")
+    if arguments.markdown:
+        print(to_markdown(merged))
+    if not merged["benchmarks"]:
+        print("no benchmarks found in the inputs", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,7 +51,8 @@ def lint_synthetic_corpus() -> None:
         if repro.is_deterministic(model):
             deterministic += 1
     print(f"  models checked              : {len(corpus)}")
-    print(f"  deterministic               : {deterministic} ({100 * deterministic / len(corpus):.1f}%)")
+    share = 100 * deterministic / len(corpus)
+    print(f"  deterministic               : {deterministic} ({share:.1f}%)")
     print(f"  max +/· alternation depth   : {worst_depth} (paper: <= 4 in real DTDs)")
 
 
@@ -68,7 +69,10 @@ def lint_xsd_schema() -> None:
     )
     schema.declare(
         "item",
-        sequence(element_particle("sku"), choice(element_particle("qty"), element_particle("weight"))),
+        sequence(
+            element_particle("sku"),
+            choice(element_particle("qty"), element_particle("weight")),
+        ),
     )
     # A UPA violation: after one 'entry' the parser cannot tell which particle
     # the next 'entry' belongs to.

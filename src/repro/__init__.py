@@ -33,8 +33,11 @@ from .api import (
     compile,  # noqa: A004 - mirrors re.compile
     is_deterministic,
     is_deterministic_numeric,
+    load_snapshot,
     match,
     purge,  # noqa: A004 - mirrors re.purge
+    save_snapshot,
+    snapshot_stats,
 )
 from .core.determinism import DeterminismConflict, DeterminismReport
 from .core.follow import FollowIndex
@@ -80,9 +83,12 @@ __all__ = [
     "compile",
     "is_deterministic",
     "is_deterministic_numeric",
+    "load_snapshot",
     "match",
     "parse",
     "parse_word",
     "purge",
+    "save_snapshot",
+    "snapshot_stats",
     "to_text",
 ]

@@ -57,13 +57,15 @@ from typing import Callable, Iterable, Sequence
 
 from .core.determinism import DeterminismReport, check_deterministic
 from .core.numeric import NumericDeterminismReport, check_deterministic_numeric
-from .errors import NotDeterministicError
+from .errors import NotDeterministicError, ReproError
 from .matching.base import DeterministicMatcher, MatchRun
 from .matching.dispatch import build_matcher
 from .matching.runtime import CompiledRun, CompiledRuntime, clear_shared_rows, compile_runtime
+from .matching.snapshot import SnapshotError
 from .regex.ast import Regex
 from .regex.parse_tree import ParseTree, build_parse_tree
 from .regex.parser import parse, parse_word
+from .regex.printer import to_text
 from .regex.properties import classify
 
 
@@ -113,6 +115,7 @@ class Pattern:
         self._strategy = strategy
         self._compiled = compiled
         self._matcher: DeterministicMatcher | None = None
+        self._runtime: CompiledRuntime | None = None
         #: ``False`` until probed, then a StarFreeMultiMatcher or ``None``
         self._batch_multi: object = False
         #: guards lazy construction (matcher, runtime, batch matcher) so
@@ -157,18 +160,46 @@ class Pattern:
                         from .matching.kore import KOccurrenceMatcher
 
                         matcher = KOccurrenceMatcher(self.tree, verify=False)
+                    # A runtime created before the matcher (the snapshot
+                    # path) becomes the matcher's attached runtime, so
+                    # compile_runtime(pattern.matcher) keeps returning it.
+                    if self._runtime is not None:
+                        matcher._compiled_runtime = self._runtime
                     self._matcher = matcher
         return matcher
 
     @property
     def runtime(self) -> CompiledRuntime:
-        """The lazy-DFA runtime over :attr:`matcher` (built on first use).
+        """The lazy-DFA runtime for this pattern (built on first use).
 
-        Shared with the matcher itself (see
+        Shared with the matcher (see
         :func:`~repro.matching.runtime.compile_runtime`), so transition rows
-        memoized through any entry point benefit every other one.
+        memoized through any entry point benefit every other one.  The
+        wrapped matcher itself is *deferred*: a runtime whose rows were
+        adopted from a persisted snapshot (:func:`load_snapshot`) answers
+        warm traffic without ever paying matcher preprocessing — the
+        Section-4 matcher is only built on the first transition or
+        acceptance query the adopted rows cannot answer.
         """
-        return compile_runtime(self.matcher)
+        runtime = self._runtime
+        if runtime is None:
+            if not self.report.deterministic:
+                raise NotDeterministicError(
+                    f"cannot match against a non-deterministic expression: {self.explain()}",
+                    report=self.report,
+                )
+            with self._init_lock:
+                runtime = self._runtime
+                if runtime is None:
+                    matcher = self._matcher
+                    if matcher is not None:
+                        runtime = compile_runtime(matcher)
+                    else:
+                        runtime = CompiledRuntime(
+                            tree=self.tree, matcher_factory=lambda: self.matcher
+                        )
+                    self._runtime = runtime
+        return runtime
 
     def match(self, word: str | Sequence[str]) -> bool:
         """True when *word* (a string or a sequence of symbols) is in the language."""
@@ -277,6 +308,9 @@ class Pattern:
         construction; it returns ``None`` until some match has been run
         on the compiled path.
         """
+        runtime = self._runtime
+        if runtime is not None:
+            return runtime
         matcher = self._matcher
         if matcher is None:
             return None
@@ -405,6 +439,11 @@ class _PatternCache:
                 self.hits = self.misses = self.insertions = 0
             clear_shared_rows()
 
+    def items(self) -> list[tuple[tuple, "Pattern"]]:
+        """A consistent (key, pattern) snapshot of the live entries."""
+        with self.lock:
+            return list(self._entries.items())
+
     def stats(self) -> dict[str, int]:
         with self._count_lock:
             return {
@@ -480,6 +519,234 @@ def cache_stats() -> dict[str, int]:
     return _CACHE.stats()
 
 
+class _SnapshotTelemetry:
+    """Process-wide counters behind :func:`snapshot_stats` (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.saves = 0
+        self.loads = 0
+        self.patterns_saved = 0
+        self.rows_saved = 0
+        self.patterns_skipped = 0
+        self.patterns_loaded = 0
+        self.rows_loaded = 0
+        self.snapshot_rejected = 0
+        self.rejected_reasons: dict[str, int] = {}
+        self.last_error: str | None = None
+
+    def record_save(self, patterns: int, rows: int, skipped: int) -> None:
+        with self._lock:
+            self.saves += 1
+            self.patterns_saved += patterns
+            self.rows_saved += rows
+            self.patterns_skipped += skipped
+
+    def record_load(self, patterns: int, rows: int) -> None:
+        with self._lock:
+            self.loads += 1
+            self.patterns_loaded += patterns
+            self.rows_loaded += rows
+
+    def record_reject(self, reason: str, message: str) -> None:
+        with self._lock:
+            self.snapshot_rejected += 1
+            self.rejected_reasons[reason] = self.rejected_reasons.get(reason, 0) + 1
+            self.last_error = message
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "saves": self.saves,
+                "loads": self.loads,
+                "patterns_saved": self.patterns_saved,
+                "rows_saved": self.rows_saved,
+                "patterns_skipped": self.patterns_skipped,
+                "patterns_loaded": self.patterns_loaded,
+                "rows_loaded": self.rows_loaded,
+                "snapshot_rejected": self.snapshot_rejected,
+                "rejected_reasons": dict(self.rejected_reasons),
+                "last_error": self.last_error,
+            }
+
+
+_SNAPSHOT_TELEMETRY = _SnapshotTelemetry()
+
+
+def _snapshot_meta(key: tuple, pattern: Pattern) -> dict | None:
+    """The reconstruction identity of a cached pattern, or ``None``.
+
+    A snapshot entry must let a *fresh* process rebuild the identical
+    cache entry: same cache key, same parse tree, same row encoding.
+    String-keyed patterns reuse their original text; AST-keyed ones
+    (content models compiled by the DTD/XSD validators) are printed and
+    re-parsed, and any expression whose text round-trip does not
+    reproduce the exact AST is skipped rather than persisted wrongly.
+    """
+    expr, dialect, strategy, compiled = key
+    if isinstance(expr, str):
+        key_kind = "text"
+        text = expr
+        parse_dialect = dialect
+        try:
+            if parse(text, dialect=dialect) != pattern.expression:
+                return None
+        except ReproError:
+            return None
+    else:
+        key_kind = "ast"
+        for parse_dialect, printer_dialect in (("paper", "paper"), ("named", "named")):
+            try:
+                text = to_text(expr, dialect=printer_dialect)
+                if parse(text, dialect=parse_dialect) == expr:
+                    break
+            except (ReproError, ValueError):
+                continue
+        else:
+            return None
+    alphabet = pattern.tree.alphabet.as_list()
+    return {
+        "expr": text,
+        "parse_dialect": parse_dialect,
+        "key_kind": key_kind,
+        "dialect": dialect,
+        "strategy": strategy,
+        "compiled": bool(compiled),
+        "alphabet": alphabet,
+        "positions": len(pattern.tree.positions),
+        "width": len(alphabet),
+    }
+
+
+def save_snapshot(path: str, complete: bool = True) -> dict:
+    """Persist every warm pattern's dense rows to *path* (atomically).
+
+    Walks the compile cache, exports each pattern that has exercised its
+    compiled runtime (see
+    :meth:`~repro.matching.runtime.CompiledRuntime.export_rows`; with
+    *complete*, visited dict rows are densified and all acceptance
+    verdicts resolved first, so the snapshot replays with zero matcher
+    delegations), and writes one checksummed file via
+    :func:`repro.matching.snapshot.write`.  Patterns without materialized
+    rows — or whose expression text does not round-trip — are skipped and
+    counted.  Returns ``{"path", "patterns", "rows", "pool_rows",
+    "bytes", "skipped"}``.
+    """
+    from .matching import snapshot as snapshot_format
+
+    entries = []
+    skipped = 0
+    for key, pattern in _CACHE.items():
+        runtime = pattern._built_runtime()
+        if runtime is None:
+            skipped += 1
+            continue
+        meta = _snapshot_meta(key, pattern)
+        if meta is None:
+            skipped += 1
+            continue
+        export = runtime.export_rows(complete=complete)
+        if not export["rows"]:
+            skipped += 1
+            continue
+        entries.append(
+            {
+                "fingerprint": snapshot_format.pattern_fingerprint(meta),
+                "meta": meta,
+                "accepts": export["accepts"],
+                "rows": export["rows"],
+            }
+        )
+    written = snapshot_format.write(path, entries)
+    _SNAPSHOT_TELEMETRY.record_save(written["patterns"], written["rows"], skipped)
+    return {"path": str(path), "skipped": skipped, **written}
+
+
+def load_snapshot(path: str) -> dict:
+    """Adopt the dense rows persisted at *path* into the compile cache.
+
+    The file is mmap'd read-only (loading it in a parent before forking
+    shares the row pages copy-on-write across every worker); each entry
+    re-compiles its pattern from the recorded identity, re-derives the
+    fingerprint from the *live* pattern and adopts the rows only on an
+    exact match.  Corrupt or stale input degrades, never breaks: any
+    validation failure — at the file level or per entry — is counted in
+    :func:`snapshot_stats` under ``snapshot_rejected`` and matching
+    simply proceeds with the normal lazy fill.  Adopted rows keep the
+    underlying mapping alive for as long as they are referenced; the
+    snapshot object itself is not retained.  Returns ``{"path",
+    "patterns_loaded", "rows_loaded", "rejected", "errors"}``.
+    """
+    from .matching import snapshot as snapshot_format
+
+    result: dict = {
+        "path": str(path),
+        "patterns_loaded": 0,
+        "rows_loaded": 0,
+        "rejected": 0,
+        "errors": [],
+    }
+    try:
+        snapshot = snapshot_format.load(path)
+    except SnapshotError as error:
+        _SNAPSHOT_TELEMETRY.record_reject(error.reason, str(error))
+        result["rejected"] = 1
+        result["errors"].append(str(error))
+        return result
+    for entry in snapshot.entries:
+        try:
+            meta = entry.meta
+            if meta.get("key_kind") == "text":
+                expr: Regex | str = meta["expr"]
+            else:
+                expr = parse(meta["expr"], dialect=meta["parse_dialect"])
+            pattern = compile(
+                expr,
+                dialect=meta["dialect"],
+                strategy=meta["strategy"],
+                compiled=bool(meta["compiled"]),
+            )
+            live = dict(meta)
+            live["alphabet"] = pattern.tree.alphabet.as_list()
+            live["positions"] = len(pattern.tree.positions)
+            live["width"] = len(pattern.tree.alphabet)
+            if snapshot_format.pattern_fingerprint(live) != entry.fingerprint:
+                raise SnapshotError(
+                    "fingerprint",
+                    f"snapshot entry for {meta.get('expr')!r} does not match this build",
+                )
+            result["rows_loaded"] += pattern.runtime.adopt_rows(entry.accepts, entry.rows())
+            result["patterns_loaded"] += 1
+        except SnapshotError as error:
+            _SNAPSHOT_TELEMETRY.record_reject(error.reason, str(error))
+            result["rejected"] += 1
+            result["errors"].append(str(error))
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            _SNAPSHOT_TELEMETRY.record_reject("entry", repr(error))
+            result["rejected"] += 1
+            result["errors"].append(repr(error))
+    # No explicit pinning: every adopted row is a memoryview chain rooted
+    # at the snapshot's mmap, so the mapping lives exactly as long as
+    # some runtime still references a row from it — repeated loads of
+    # refreshed snapshots cannot accumulate dead mappings.
+    _SNAPSHOT_TELEMETRY.record_load(result["patterns_loaded"], result["rows_loaded"])
+    return result
+
+
+def snapshot_stats() -> dict:
+    """Process-wide snapshot telemetry (saves, loads, adoption, rejects).
+
+    ``snapshot_rejected`` counts every validation failure — whole files
+    and individual entries — with ``rejected_reasons`` breaking them down
+    by kind (``"checksum"``, ``"version"``, ``"fingerprint"``,
+    ``"alphabet-width"``, ...); rejects are the designed degradation
+    path, so a non-zero count means cold starts, never wrong verdicts.
+    Merged into the validation service's ``GET /stats`` under
+    ``"snapshot"``.
+    """
+    return _SNAPSHOT_TELEMETRY.stats()
+
+
 def match(expr: Regex | str, word: str | Sequence[str], dialect: str = "paper") -> bool:
     """One-shot matching: compile *expr* (through the cache) and match *word*."""
     return compile(expr, dialect=dialect).match(word)
@@ -516,6 +783,9 @@ __all__ = [
     "compile",
     "is_deterministic",
     "is_deterministic_numeric",
+    "load_snapshot",
     "match",
     "purge",
+    "save_snapshot",
+    "snapshot_stats",
 ]

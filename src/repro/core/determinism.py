@@ -115,7 +115,9 @@ class DeterminismChecker:
         if diagnostics.p1_violations:
             violation = diagnostics.p1_violations[0]
             source = self._common_predecessor(violation.first, violation.second)
-            conflict = DeterminismConflict(violation.symbol, violation.first, violation.second, source)
+            conflict = DeterminismConflict(
+                violation.symbol, violation.first, violation.second, source
+            )
             return DeterminismReport(False, "P1", conflict)
 
         if diagnostics.p2_violations:

@@ -334,7 +334,9 @@ class NumericDeterminismChecker:
             label = self.positions[q].symbol
             other = seen.get(label)
             if other is not None:
-                self._conflict = NumericConflict(label, self.positions[other], self.positions[q], via)
+                self._conflict = NumericConflict(
+                    label, self.positions[other], self.positions[q], via
+                )
                 return
             seen[label] = q
 

@@ -59,7 +59,7 @@ True
 >>> runtime.accepts("aba")
 False
 >>> sorted(runtime.stats())
-['dense_rows', 'misses', 'shared_rows', 'states_visited', 'transitions_memoized']
+['adopted_rows', 'dense_rows', 'misses', 'shared_rows', 'states_visited', 'transitions_memoized']
 
 The runtime preserves the streaming contract of the direct path:
 :meth:`CompiledRuntime.start` returns a :class:`CompiledRun` with the same
@@ -73,11 +73,12 @@ from __future__ import annotations
 import threading
 import weakref
 from array import array
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..regex.alphabet import UNKNOWN_CODE
-from ..regex.parse_tree import TreeNode
+from ..regex.parse_tree import ParseTree, TreeNode
 from .base import DeterministicMatcher
+from .snapshot import SnapshotError
 
 #: Memoized "no transition" marker.  Any negative value works (valid states
 #: are non-negative position indices); sharing the encoder's UNKNOWN_CODE
@@ -188,7 +189,8 @@ class CompiledRuntime:
     """
 
     __slots__ = (
-        "matcher",
+        "_matcher_obj",
+        "_matcher_factory",
         "tree",
         "alphabet",
         "_codes",
@@ -202,11 +204,23 @@ class CompiledRuntime:
         "_lock",
         "misses",
         "row_dedups",
+        "_adopted_rows",
     )
 
-    def __init__(self, matcher: DeterministicMatcher):
-        self.matcher = matcher
-        self.tree = matcher.tree
+    def __init__(
+        self,
+        matcher: DeterministicMatcher | None = None,
+        *,
+        tree: ParseTree | None = None,
+        matcher_factory: Callable[[], DeterministicMatcher] | None = None,
+    ):
+        if matcher is not None:
+            tree = matcher.tree
+        elif tree is None or matcher_factory is None:
+            raise TypeError("CompiledRuntime needs a matcher, or a tree plus a matcher_factory")
+        self._matcher_obj = matcher
+        self._matcher_factory = matcher_factory
+        self.tree = tree
         self.alphabet = self.tree.alphabet
         self._codes: dict[str, int] = self.alphabet.codes
         self._symbols: list[str] = self.alphabet.as_list()
@@ -228,6 +242,25 @@ class CompiledRuntime:
         self.misses = 0
         #: densified rows that aliased an already-interned equal row
         self.row_dedups = 0
+        #: rows installed from a persisted snapshot (mmap-backed views)
+        self._adopted_rows = 0
+
+    @property
+    def matcher(self) -> DeterministicMatcher:
+        """The wrapped Section-4 matcher, built on first *miss* if deferred.
+
+        Snapshot-preloaded runtimes start without a matcher: as long as
+        every transition and acceptance query is answered by adopted
+        rows, the (expensive) matcher preprocessing never runs.  The
+        first genuine miss invokes the factory — a factory must be
+        idempotent under races (``Pattern.matcher`` is: it double-checks
+        under the pattern's init lock).
+        """
+        matcher = self._matcher_obj
+        if matcher is None:
+            matcher = self._matcher_factory()
+            self._matcher_obj = matcher
+        return matcher
 
     # -- encoding ----------------------------------------------------------------
     def encode(self, word: Iterable[str]) -> list[int]:
@@ -359,16 +392,117 @@ class CompiledRuntime:
         """Begin a streaming run (mirrors :meth:`DeterministicMatcher.start`)."""
         return CompiledRun(self)
 
+    # -- snapshot export / adoption ------------------------------------------------------
+    def export_rows(self, complete: bool = True) -> dict:
+        """Exportable view of the materialized machine (for snapshots).
+
+        Returns ``{"accepts": bytes, "rows": {state: array('i')},
+        "width": int, "positions": int}``.  With *complete* (the default
+        for saving) every visited dict row is promoted to a completed
+        dense row first and the acceptance verdict of every state is
+        resolved — both force the wrapped matcher, which a process warm
+        enough to be worth snapshotting has already built.  With
+        ``complete=False`` only what is already dense/known is exported.
+        Acceptance bytes are 1 (accept), 0 (reject) or 0xFF (unknown).
+        """
+        with self._lock:
+            if complete:
+                for state, row in enumerate(self._rows):
+                    if type(row) is dict and row:
+                        self._densify(state, row)
+            rows: dict[int, array] = {}
+            for state, row in enumerate(self._rows):
+                if row is not None and type(row) is not dict:
+                    rows[state] = array("i", row)
+            accepts = bytearray(b"\xff" * len(self._positions))
+            for state, verdict in enumerate(self._accepts):
+                if verdict >= 0:
+                    accepts[state] = verdict
+            if complete and 0xFF in accepts:
+                # Only touch the matcher when some verdict is actually
+                # unresolved: re-exporting a snapshot-adopted runtime
+                # (complete accepts) must keep its matcher deferred.
+                accepts_at = self.matcher.follow.accepts_at
+                for state in range(len(self._positions)):
+                    if accepts[state] == 0xFF:
+                        verdict = 1 if accepts_at(self._positions[state]) else 0
+                        self._accepts[state] = verdict
+                        accepts[state] = verdict
+        return {
+            "accepts": bytes(accepts),
+            "rows": rows,
+            "width": self._width,
+            "positions": len(self._positions),
+        }
+
+    def adopt_rows(self, accepts: bytes | None, rows: Mapping[int, Sequence[int]]) -> int:
+        """Install snapshot rows into this runtime; returns rows adopted.
+
+        Validation is strict and happens *before* any mutation, so a
+        rejected snapshot leaves the runtime exactly as it was (normal
+        lazy fill): every state index must be a real position, every row
+        exactly alphabet-width, every target :data:`DEAD` or a real
+        position, and acceptance bytes must cover every state with
+        0/1/0xFF values.  A violation raises
+        :class:`~repro.matching.snapshot.SnapshotError` — the API layer
+        counts it as ``snapshot_rejected`` and carries on cold.
+
+        Rows are installed as-is (typically mmap-backed memoryviews, so
+        forked workers share the pages) but only into states this runtime
+        has never visited; locally exercised rows always win.
+        """
+        position_count = len(self._positions)
+        width = self._width
+        for state, row in rows.items():
+            if not 0 <= state < position_count:
+                raise SnapshotError(
+                    "row-bounds", f"snapshot row for state {state} outside {position_count} states"
+                )
+            if len(row) != width:
+                raise SnapshotError(
+                    "alphabet-width",
+                    f"snapshot row has {len(row)} entries for alphabet width {width}",
+                )
+            for target in row:
+                if not DEAD <= target < position_count:
+                    raise SnapshotError(
+                        "row-bounds", f"snapshot transition target {target} out of range"
+                    )
+        if accepts is not None:
+            if len(accepts) != position_count:
+                raise SnapshotError(
+                    "accepts-length",
+                    f"snapshot acceptance table covers {len(accepts)} of "
+                    f"{position_count} states",
+                )
+            for value in accepts:
+                if value not in (0, 1, 0xFF):
+                    raise SnapshotError("malformed", f"invalid acceptance byte {value}")
+        adopted = 0
+        with self._lock:
+            for state, row in rows.items():
+                if self._rows[state] is None:
+                    self._rows[state] = row
+                    adopted += 1
+            self._adopted_rows += adopted
+            if accepts is not None:
+                for state, value in enumerate(accepts):
+                    if value != 0xFF and self._accepts[state] < 0:
+                        self._accepts[state] = value
+        return adopted
+
     # -- introspection -------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         """How much of the lazy DFA has been materialized so far.
 
         ``dense_rows`` counts states promoted to array-backed rows,
         ``shared_rows`` how many of those aliased an already-interned equal
-        row instead of allocating a new array.  Every memoized transition
-        corresponds to exactly one delegation to the wrapped matcher, so
-        ``transitions_memoized == misses`` is an invariant the unit tests
-        pin down.
+        row instead of allocating a new array, ``adopted_rows`` how many
+        came from a persisted snapshot.  Every *locally* memoized
+        transition corresponds to exactly one delegation to the wrapped
+        matcher — adopted rows were exercised by some earlier process, so
+        they are excluded and ``transitions_memoized == misses`` remains
+        the invariant the unit tests pin down.
         """
         visited = 0
         transitions = 0
@@ -382,16 +516,19 @@ class CompiledRuntime:
                 dense_rows += 1
         return {
             "states_visited": visited,
-            "transitions_memoized": transitions,
+            "transitions_memoized": transitions - self._adopted_rows * self._width,
             "misses": self.misses,
             "dense_rows": dense_rows,
             "shared_rows": self.row_dedups,
+            "adopted_rows": self._adopted_rows,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats()
+        matcher = self._matcher_obj
+        name = matcher.name if matcher is not None else "<deferred>"
         return (
-            f"CompiledRuntime({self.matcher.name}, "
+            f"CompiledRuntime({name}, "
             f"states={stats['states_visited']}/{len(self._positions)}, "
             f"transitions={stats['transitions_memoized']})"
         )

@@ -1,0 +1,391 @@
+"""Persisted dense-row snapshots: the lazy DFA survives process boundaries.
+
+The compiled runtime (:mod:`repro.matching.runtime`) turns Section-4
+matchers into integer transition rows, but every process re-exercises
+those rows from scratch: cold starts pay the full matcher preprocessing
+plus one structure query per ``(state, symbol)`` pair.  The Li et al.
+large-scale schema study (arXiv:1805.12503) shows real-world content
+models repeat heavily across schemas — exactly the workload where the
+rows one warm process has materialized are the rows the next thousand
+processes will need.  This module persists them:
+
+* a **versioned, checksummed binary format** holding, per pattern, a
+  *fingerprint* (SHA-256 over the reconstruction identity: expression
+  text, dialects, strategy, frozen-alphabet encoding, position count),
+  the per-state acceptance verdicts, and every completed dense
+  ``array('i')`` row;
+* rows are written through a **file-level interning pool** mirroring the
+  in-memory registry: structurally equal rows are stored once and
+  referenced by index, so the Li-style repetition collapses on disk too;
+* snapshots are **written atomically** (temp file + ``os.replace``) and
+  **loaded via ``mmap``**: adopted rows are zero-copy ``memoryview``
+  slices into the page cache, so forked workers — and independent
+  processes loading the same file — share the row pages copy-on-write
+  instead of each materializing a private copy;
+* **corruption can never change a verdict**: the loader validates magic,
+  version, byte order, item size, bounds and a CRC-32 of the whole
+  payload; adoption re-derives the fingerprint from the live pattern and
+  bounds-checks every state and target.  Any mismatch raises
+  :class:`SnapshotError` (tagged with a ``reason``), which the API layer
+  converts into a counted ``snapshot_rejected`` stat and a plain cold
+  start — the lazy fill path is always there underneath.
+
+The user-facing surface lives in :mod:`repro.api`
+(``save_snapshot`` / ``load_snapshot`` / ``snapshot_stats``); the prefork
+service front (:mod:`repro.service.prefork`) preloads a snapshot before
+forking so every worker boots warm.  Format details and compatibility
+rules are documented in ``docs/snapshot.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import mmap
+import os
+import struct
+import sys
+import tempfile
+import zlib
+from array import array
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+#: First 8 bytes of every snapshot file.  The trailing digit doubles as a
+#: coarse format generation: readers reject anything but an exact match.
+MAGIC = b"RPRODFA1"
+
+#: Format version (u16 in the header); bump on any layout change.
+VERSION = 1
+
+#: Fixed-size header: magic, version, itemsize, byteorder flag,
+#: pattern count, payload CRC-32, payload length.
+_HEADER = struct.Struct("<8sHBBIIQ")
+
+#: Dense rows are ``array('i')``; snapshots record the writer's itemsize
+#: and readers reject a mismatch instead of reinterpreting the bytes.
+ITEMSIZE = array("i").itemsize
+
+#: 0 = little-endian writer, 1 = big-endian.  Row payloads are raw
+#: ``array.tobytes()`` (native order), so a cross-endian load is invalid.
+_BYTEORDER_FLAG = 0 if sys.byteorder == "little" else 1
+
+#: Fields hashed into a pattern fingerprint, in canonical JSON order.
+#: ``expr``/dialects/strategy pin how the pattern is reconstructed;
+#: ``alphabet``/``positions``/``width`` pin the row encoding itself —
+#: a parser or tree-builder change that shifts either one changes the
+#: fingerprint and retires every stale snapshot automatically.
+FINGERPRINT_FIELDS = (
+    "expr",
+    "parse_dialect",
+    "key_kind",
+    "dialect",
+    "strategy",
+    "compiled",
+    "alphabet",
+    "positions",
+    "width",
+)
+
+#: Byte markers in the per-state acceptance section.
+ACCEPT_UNKNOWN = 0xFF
+
+
+class SnapshotError(Exception):
+    """A snapshot failed validation; carries a machine-readable *reason*.
+
+    Reasons are short tags (``"truncated"``, ``"checksum"``,
+    ``"fingerprint"``, ``"alphabet-width"``, ...) that the API layer's
+    ``snapshot_rejected`` telemetry counts per kind.  The error is always
+    recoverable: callers degrade to the normal lazy fill.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+def pattern_fingerprint(meta: Mapping[str, object]) -> bytes:
+    """SHA-256 digest of the reconstruction identity in *meta*.
+
+    Hashes exactly :data:`FINGERPRINT_FIELDS` (canonical JSON, sorted
+    keys), so two processes agree on a fingerprint iff they agree on how
+    to rebuild the pattern *and* on the row encoding it produces.
+
+    >>> meta = {"expr": "(ab)*", "parse_dialect": "paper", "key_kind": "text",
+    ...         "dialect": "paper", "strategy": "auto", "compiled": True,
+    ...         "alphabet": ["a", "b"], "positions": 4, "width": 2}
+    >>> len(pattern_fingerprint(meta))
+    32
+    >>> pattern_fingerprint(meta) == pattern_fingerprint(dict(meta))
+    True
+    """
+    try:
+        identity = {name: meta[name] for name in FINGERPRINT_FIELDS}
+    except KeyError as error:
+        raise SnapshotError("meta", f"snapshot meta lacks field {error}") from None
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).digest()
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotEntry:
+    """One pattern's persisted state inside a loaded snapshot.
+
+    ``rows()`` materializes ``{state: row}`` where each row is a
+    zero-copy ``memoryview`` into the snapshot's mmap (int-typed, exactly
+    ``meta["width"]`` entries) — handing them to
+    :meth:`~repro.matching.runtime.CompiledRuntime.adopt_rows` shares the
+    on-disk pages instead of copying them.
+    """
+
+    fingerprint: bytes
+    meta: dict
+    accepts: bytes
+    _row_refs: tuple[tuple[int, int], ...]
+    _snapshot: "Snapshot"
+
+    def rows(self) -> dict[int, memoryview]:
+        return {state: self._snapshot.pool_row(index) for state, index in self._row_refs}
+
+    @property
+    def row_count(self) -> int:
+        return len(self._row_refs)
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """A validated, mmap-backed snapshot file.
+
+    The mmap stays open for the object's lifetime; adopted row views keep
+    it (and therefore the shared pages) alive even if the Snapshot object
+    itself is dropped.
+    """
+
+    path: str
+    entries: list[SnapshotEntry] = field(default_factory=list)
+    _mm: mmap.mmap | None = None
+    _view: memoryview | None = None
+    _pool_spans: list[tuple[int, int]] = field(default_factory=list)
+    _pool_views: dict[int, memoryview] = field(default_factory=dict)
+
+    def pool_row(self, index: int) -> memoryview:
+        """The interned row at *index*, cast to ints (cached per pool slot)."""
+        view = self._pool_views.get(index)
+        if view is None:
+            offset, length = self._pool_spans[index]
+            view = self._view[offset : offset + length].cast("i")
+            self._pool_views[index] = view
+        return view
+
+    @property
+    def pool_size(self) -> int:
+        """Number of distinct interned rows stored in the file."""
+        return len(self._pool_spans)
+
+    @property
+    def size_bytes(self) -> int:
+        return os.path.getsize(self.path)
+
+
+class _Reader:
+    """Bounds-checked cursor over the payload bytes."""
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: memoryview):
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> memoryview:
+        if count < 0 or self.offset + count > len(self.data):
+            raise SnapshotError("truncated", "payload ends mid-record")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def pad4(self) -> None:
+        self.offset += (-self.offset) % 4
+        if self.offset > len(self.data):
+            raise SnapshotError("truncated", "payload ends inside padding")
+
+
+def _write_padded(buffer: io.BytesIO, chunk: bytes) -> None:
+    buffer.write(struct.pack("<I", len(chunk)))
+    buffer.write(chunk)
+    buffer.write(b"\x00" * ((-(4 + len(chunk))) % 4))
+
+
+def write(path: str | os.PathLike, entries: Iterable[dict]) -> dict:
+    """Atomically write a snapshot file; returns ``{patterns, rows, pool_rows, bytes}``.
+
+    Each entry is ``{"fingerprint": bytes, "meta": dict, "accepts": bytes,
+    "rows": {state: int-sequence}}`` — the shape
+    :meth:`CompiledRuntime.export_rows` plus the API layer's meta builder
+    produce.  Rows are interned into a file-level pool: structurally equal
+    rows (within or across patterns) are stored once.  The file appears
+    atomically via ``os.replace``, so a reader can never observe a
+    half-written snapshot — at worst a stale complete one.
+    """
+    entries = list(entries)
+    pool: dict[tuple[int, ...], int] = {}
+    pool_rows: list[tuple[int, ...]] = []
+    encoded_entries: list[bytes] = []
+    total_rows = 0
+    for entry in entries:
+        meta_bytes = json.dumps(entry["meta"], sort_keys=True).encode("utf-8")
+        accepts: bytes = entry["accepts"]
+        refs = io.BytesIO()
+        rows: Mapping[int, Sequence[int]] = entry["rows"]
+        for state in sorted(rows):
+            key = tuple(rows[state])
+            index = pool.get(key)
+            if index is None:
+                index = pool[key] = len(pool_rows)
+                pool_rows.append(key)
+            refs.write(struct.pack("<II", state, index))
+            total_rows += 1
+        body = io.BytesIO()
+        fingerprint: bytes = entry["fingerprint"]
+        if len(fingerprint) != 32:
+            raise ValueError("fingerprints must be 32-byte SHA-256 digests")
+        body.write(fingerprint)
+        _write_padded(body, meta_bytes)
+        _write_padded(body, accepts)
+        body.write(struct.pack("<I", len(rows)))
+        body.write(refs.getvalue())
+        encoded_entries.append(body.getvalue())
+
+    payload = io.BytesIO()
+    payload.write(struct.pack("<I", len(pool_rows)))
+    for key in pool_rows:
+        payload.write(struct.pack("<I", len(key)))
+        payload.write(array("i", key).tobytes())
+    payload.write(struct.pack("<I", len(encoded_entries)))
+    for body in encoded_entries:
+        payload.write(body)
+    payload_bytes = payload.getvalue()
+
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        ITEMSIZE,
+        _BYTEORDER_FLAG,
+        len(encoded_entries),
+        zlib.crc32(payload_bytes) & 0xFFFFFFFF,
+        len(payload_bytes),
+    )
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(prefix=".snapshot-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(payload_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return {
+        "patterns": len(encoded_entries),
+        "rows": total_rows,
+        "pool_rows": len(pool_rows),
+        "bytes": len(header) + len(payload_bytes),
+    }
+
+
+def load(path: str | os.PathLike) -> Snapshot:
+    """mmap and validate a snapshot file; raises :class:`SnapshotError`.
+
+    Validation order matters for the corruption tests: size/magic/version
+    and the machine-compatibility fields are checked before the checksum,
+    and the checksum before any structural parsing, so every class of
+    corruption maps to one stable ``reason`` tag.
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise SnapshotError("missing", f"cannot open snapshot {path!r}: {error}") from None
+    with handle:
+        try:
+            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as error:  # empty file or mmap failure
+            raise SnapshotError("truncated", f"cannot map snapshot {path!r}: {error}") from None
+    if len(mm) < _HEADER.size:
+        raise SnapshotError("truncated", f"{path!r} is shorter than the snapshot header")
+    magic, version, itemsize, byteorder, count, checksum, payload_length = _HEADER.unpack_from(
+        mm, 0
+    )
+    if magic != MAGIC:
+        raise SnapshotError("magic", f"{path!r} is not a dense-row snapshot")
+    if version != VERSION:
+        raise SnapshotError("version", f"snapshot version {version} (expected {VERSION})")
+    if itemsize != ITEMSIZE:
+        raise SnapshotError("itemsize", f"row itemsize {itemsize} (expected {ITEMSIZE})")
+    if byteorder != _BYTEORDER_FLAG:
+        raise SnapshotError("byte-order", "snapshot was written on a different-endian machine")
+    if _HEADER.size + payload_length != len(mm):
+        raise SnapshotError(
+            "truncated",
+            f"payload length {payload_length} does not match file size {len(mm)}",
+        )
+    view = memoryview(mm)
+    payload = view[_HEADER.size :]
+    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+        raise SnapshotError("checksum", f"CRC mismatch in {path!r}")
+
+    snapshot = Snapshot(path=path)
+    snapshot._mm = mm
+    snapshot._view = payload
+    reader = _Reader(payload)
+    pool_count = reader.u32()
+    for _ in range(pool_count):
+        ints = reader.u32()
+        if ints > len(payload) // ITEMSIZE:
+            raise SnapshotError("malformed", "pool row longer than the payload")
+        start = reader.offset
+        reader.take(ints * ITEMSIZE)
+        snapshot._pool_spans.append((start, ints * ITEMSIZE))
+    entry_count = reader.u32()
+    if entry_count != count:
+        raise SnapshotError("malformed", "entry count disagrees with the header")
+    for _ in range(entry_count):
+        fingerprint = bytes(reader.take(32))
+        meta_bytes = bytes(reader.take(reader.u32()))
+        reader.pad4()
+        accepts = bytes(reader.take(reader.u32()))
+        reader.pad4()
+        row_count = reader.u32()
+        refs: list[tuple[int, int]] = []
+        for _ in range(row_count):
+            state = reader.u32()
+            index = reader.u32()
+            if index >= pool_count:
+                raise SnapshotError("malformed", f"row reference {index} outside the pool")
+            refs.append((state, index))
+        try:
+            meta = json.loads(meta_bytes)
+        except ValueError as error:
+            raise SnapshotError("malformed", f"snapshot meta is not JSON: {error}") from None
+        if not isinstance(meta, dict):
+            raise SnapshotError("malformed", "snapshot meta must be a JSON object")
+        snapshot.entries.append(
+            SnapshotEntry(
+                fingerprint=fingerprint,
+                meta=meta,
+                accepts=accepts,
+                _row_refs=tuple(refs),
+                _snapshot=snapshot,
+            )
+        )
+    return snapshot

@@ -38,7 +38,6 @@ from ..core.follow import FollowIndex
 from ..errors import NotDeterministicError
 from ..regex.ast import Regex
 from ..regex.parse_tree import NodeKind, ParseTree, TreeNode, build_parse_tree
-from ..regex.properties import is_star_free
 
 
 class _WaitingEntry:
@@ -65,7 +64,8 @@ class StarFreeMultiMatcher:
             report = DeterminismChecker(self.tree, self.follow).report()
             if not report.deterministic:
                 raise NotDeterministicError(
-                    f"StarFreeMultiMatcher requires a deterministic expression: {report.describe()}",
+                    "StarFreeMultiMatcher requires a deterministic expression: "
+                    f"{report.describe()}",
                     report=report,
                 )
         #: number of entries examined during the last match_all call (instrumentation)

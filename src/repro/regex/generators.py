@@ -59,7 +59,9 @@ def mixed_content(symbol_count: int, prefix: str = "a") -> Regex:
     return star(union(*[sym(name) for name in _names(symbol_count, prefix)]))
 
 
-def chare(factor_count: int, symbols_per_factor: int = 3, rng: random.Random | None = None) -> Regex:
+def chare(
+    factor_count: int, symbols_per_factor: int = 3, rng: random.Random | None = None
+) -> Regex:
     """A chain regular expression with *factor_count* factors.
 
     Each factor is ``(a + b + c)`` over fresh symbols, decorated with one of
@@ -266,7 +268,10 @@ def random_expression(
         index = rng.randrange(len(leaves) - 1)
         left = leaves.pop(index)
         right = leaves.pop(index)
-        node: Regex = Union(left, right) if rng.random() < union_probability else Concat(left, right)
+        if rng.random() < union_probability:
+            node: Regex = Union(left, right)
+        else:
+            node = Concat(left, right)
         leaves.insert(index, _random_decorate(rng, node, star_probability, optional_probability))
     return _random_decorate(rng, leaves[0], star_probability, optional_probability)
 

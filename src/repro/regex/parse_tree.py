@@ -29,7 +29,7 @@ paper (positions subscripted left to right) corresponds to
 from __future__ import annotations
 
 from enum import Enum
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from ..errors import InvalidExpressionError
 from .alphabet import Alphabet, END_SENTINEL, START_SENTINEL, SENTINELS

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from .ast import (
     Concat,

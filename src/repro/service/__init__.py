@@ -25,7 +25,13 @@ Two entry points:
   snapshot aggregating every telemetry surface the library exposes;
 * :mod:`repro.service.http` — a stdlib-only HTTP front end
   (``python -m repro.service``) with ``POST /match``, ``POST /validate``
-  and ``GET /stats``.
+  and ``GET /stats``;
+* :mod:`repro.service.prefork` — the multi-process front
+  (``--processes N``): the parent preloads a dense-row snapshot
+  (``docs/snapshot.md``), forks N shared-nothing workers that accept on
+  one inherited socket, and aggregates fleet stats through a
+  shared-memory :class:`~repro.service.prefork.StatsBoard` merged into
+  ``GET /stats``.
 
 See ``docs/service.md`` for endpoint shapes and deployment notes.
 """

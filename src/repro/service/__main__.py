@@ -1,9 +1,19 @@
-"""``python -m repro.service`` — boot the HTTP validation service."""
+"""``python -m repro.service`` — boot the HTTP validation service.
+
+Single-process by default; ``--processes N`` switches to the prefork
+front (N shared-nothing worker processes accepting on one socket), and
+``--snapshot PATH`` preloads a dense-row snapshot before any traffic —
+in prefork mode the parent loads it once and every forked worker shares
+the mmap'd rows copy-on-write.  See ``docs/service.md`` and
+``docs/snapshot.md``.
+"""
 
 from __future__ import annotations
 
 import argparse
+import os
 
+from .. import api
 from .core import DEFAULT_WORKERS
 from .http import DEFAULT_HOST, DEFAULT_PORT, serve
 
@@ -14,14 +24,54 @@ def main(argv: list[str] | None = None) -> None:
         description="HTTP validation service for deterministic regular expressions "
         "(POST /match, POST /validate, GET /stats).",
     )
-    parser.add_argument("--host", default=DEFAULT_HOST, help=f"bind address (default {DEFAULT_HOST})")
     parser.add_argument(
-        "--port", type=int, default=DEFAULT_PORT, help=f"bind port (default {DEFAULT_PORT}; 0 = ephemeral)"
+        "--host", default=DEFAULT_HOST, help=f"bind address (default {DEFAULT_HOST})"
     )
     parser.add_argument(
-        "--workers", type=int, default=DEFAULT_WORKERS, help=f"worker threads (default {DEFAULT_WORKERS})"
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port (default {DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help=f"worker threads per process (default {DEFAULT_WORKERS})",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes; > 1 boots the prefork front (POSIX only, default 1)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="dense-row snapshot to preload before serving (see docs/snapshot.md)",
     )
     arguments = parser.parse_args(argv)
+    if arguments.processes > 1 and hasattr(os, "fork"):
+        from .prefork import serve_prefork
+
+        serve_prefork(
+            host=arguments.host,
+            port=arguments.port,
+            processes=arguments.processes,
+            workers=arguments.workers,
+            snapshot_path=arguments.snapshot,
+        )
+        return
+    if arguments.processes > 1:
+        print("os.fork is unavailable on this platform; serving single-process", flush=True)
+    if arguments.snapshot:
+        report = api.load_snapshot(arguments.snapshot)
+        print(
+            f"snapshot {arguments.snapshot}: {report['patterns_loaded']} patterns / "
+            f"{report['rows_loaded']} rows preloaded, {report['rejected']} rejected",
+            flush=True,
+        )
     serve(host=arguments.host, port=arguments.port, workers=arguments.workers)
 
 

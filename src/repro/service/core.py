@@ -224,7 +224,9 @@ class ValidationService:
             return self._map_chunked(verdicts, list(texts), per_item_cost=8)
 
     @staticmethod
-    def _verdict(validator: DTDValidator | XSDSchema, document: Document | Element) -> DocumentVerdict:
+    def _verdict(
+        validator: DTDValidator | XSDSchema, document: Document | Element
+    ) -> DocumentVerdict:
         if isinstance(validator, XSDSchema):
             root = document.root if isinstance(document, Document) else document
             return DocumentVerdict(validator.validate_element(root))
@@ -288,7 +290,9 @@ class ValidationService:
         patterns to their :meth:`~repro.api.Pattern.runtime_stats`;
         ``validators`` maps memoized wire schemas to their
         ``stats()`` aggregates; ``shared_rows`` counts interned dense rows
-        process-wide.
+        process-wide; ``snapshot`` is :func:`repro.api.snapshot_stats`
+        (dense-row persistence telemetry, including the
+        ``snapshot_rejected`` degradation counter).
         """
         with self._metrics_lock:
             latencies = sorted(self._latencies)
@@ -313,6 +317,7 @@ class ValidationService:
             "patterns": patterns,
             "validators": validators,
             "shared_rows": shared_row_count(),
+            "snapshot": api.snapshot_stats(),
         }
 
 

@@ -63,6 +63,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         if self._owns_service:
             self.service.close()
 
+    def stats_payload(self) -> dict:
+        """The ``GET /stats`` body; the prefork front overrides this to
+        merge the whole fleet's shared-memory stats into the response."""
+        return self.service.stats()
+
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes requests into the shared service and speaks JSON."""
@@ -128,7 +133,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- routes -------------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         if self.path == "/stats":
-            self._send_json(200, self.service.stats())
+            self._send_json(200, self.server.stats_payload())
         elif self.path in ("/", "/healthz"):
             self._send_json(200, {"status": "ok", "service": "repro"})
         else:
@@ -239,9 +244,12 @@ def serve(
     service = ValidationService(workers=workers)
     server = ServiceHTTPServer((host, port), service)
     bound_host, bound_port = server.server_address[:2]
+    # flush so a supervisor (or the CI smoke step) redirecting stdout can
+    # read the ephemeral port back before the first request arrives
     print(
         f"repro.service listening on http://{bound_host}:{bound_port} "
-        f"({workers} workers) — POST /match, POST /validate, GET /stats"
+        f"({workers} workers) — POST /match, POST /validate, GET /stats",
+        flush=True,
     )
     try:
         server.serve_forever()

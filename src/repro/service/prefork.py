@@ -1,0 +1,335 @@
+"""Multi-process serving front: fork shared-nothing workers from a warm parent.
+
+One Python process is GIL-bound: the thread-pool service saturates a
+single core.  This module scales it across cores the classic prefork
+way, arranged so the PR-4 snapshot work pays off fleet-wide:
+
+1. the **parent** binds the listening socket (port 0 picks an ephemeral
+   port, printed before any worker starts), optionally **preloads a
+   dense-row snapshot** (:func:`repro.load_snapshot` — the rows are
+   mmap-backed, read-only, file-cached), and creates a shared-memory
+   :class:`StatsBoard`;
+2. it then **forks N workers**.  Each worker is shared-nothing Python —
+   its own :class:`~repro.service.core.ValidationService`, thread pool
+   and caches — but the adopted row pages, the warm compile cache and
+   the interpreter image itself are shared copy-on-write, so every
+   worker boots with the fleet's warm rows for free;
+3. workers ``accept()`` directly on the inherited socket (the kernel
+   load-balances connections); the parent never serves traffic — it
+   supervises, restarting any worker that dies;
+4. each worker periodically publishes a request summary into its
+   :class:`StatsBoard` slot; whichever worker answers ``GET /stats``
+   merges the whole fleet into a ``"cluster"`` section, so one request
+   shows aggregate traffic plus the per-process split.
+
+Entry point: ``python -m repro.service --processes N [--snapshot PATH]``.
+Fork is POSIX-only; on platforms without ``os.fork`` the CLI falls back
+to the single-process server with a warning.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+from .. import api
+from .core import DEFAULT_WORKERS, ValidationService
+from .http import DEFAULT_HOST, DEFAULT_PORT, ServiceHTTPServer, ServiceRequestHandler
+
+#: Bytes reserved per worker in the shared stats segment; a worker whose
+#: summary outgrows its slot simply skips that publish.
+SLOT_SIZE = 32 * 1024
+
+#: Per-slot header: a seqlock counter (odd while a write is in progress)
+#: and the payload length.
+_SLOT_HEADER = struct.Struct("<II")
+
+#: Seconds between a worker's stats publications.
+PUBLISH_INTERVAL = 1.0
+
+#: A slot whose summary is older than this is treated as a dead worker's
+#: leftover: excluded from the live count and the request aggregate.
+STALE_AFTER = 10 * PUBLISH_INTERVAL
+
+#: A worker slot that crash-loops more than this many times stays down —
+#: the supervisor must not turn a deterministic boot failure into a fork
+#: bomb.
+MAX_RESTARTS_PER_SLOT = 5
+
+
+class StatsBoard:
+    """A fixed-slot shared-memory board for cross-process stats.
+
+    The parent creates one anonymous shared mapping before forking; each
+    worker owns exactly one slot (single writer), any process may read
+    all of them.  Writes use a seqlock: the counter goes odd, the JSON
+    payload and its length land, the counter goes even — a reader that
+    observes an odd or changing counter simply retries and, failing
+    that, reports the slot as stale.  No locks cross the process
+    boundary, so a crashed worker can never wedge readers.
+    """
+
+    def __init__(self, slots: int, slot_size: int = SLOT_SIZE):
+        if slots < 1:
+            raise ValueError("a stats board needs at least one slot")
+        self.slots = slots
+        self.slot_size = slot_size
+        self._mm = mmap.mmap(-1, slots * slot_size)
+
+    def publish(self, index: int, payload: dict) -> bool:
+        """Write *payload* into slot *index*; False if it does not fit."""
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if len(data) > self.slot_size - _SLOT_HEADER.size:
+            return False
+        base = index * self.slot_size
+        mm = self._mm
+        seq, _ = _SLOT_HEADER.unpack_from(mm, base)
+        if seq % 2:
+            # A predecessor crashed mid-publish (the supervisor restarts
+            # workers into their old slot): re-even the counter so the
+            # stable state stays even and readers recover.
+            seq += 1
+        _SLOT_HEADER.pack_into(mm, base, seq + 1, 0)  # odd: write in progress
+        start = base + _SLOT_HEADER.size
+        mm[start : start + len(data)] = data
+        _SLOT_HEADER.pack_into(mm, base, seq + 2, len(data))
+        return True
+
+    def read(self, index: int) -> dict | None:
+        """Slot *index*'s latest payload, or ``None`` (empty/stale/torn)."""
+        base = index * self.slot_size
+        mm = self._mm
+        for _ in range(4):
+            seq, length = _SLOT_HEADER.unpack_from(mm, base)
+            if seq == 0 or seq % 2:
+                time.sleep(0.001)
+                continue
+            if not 0 < length <= self.slot_size - _SLOT_HEADER.size:
+                return None
+            start = base + _SLOT_HEADER.size
+            data = bytes(mm[start : start + length])
+            if _SLOT_HEADER.unpack_from(mm, base)[0] == seq:
+                try:
+                    return json.loads(data)
+                except ValueError:
+                    return None
+        return None
+
+    def read_all(self) -> dict[int, dict]:
+        """Every populated slot, keyed by slot index."""
+        entries = {}
+        for index in range(self.slots):
+            payload = self.read(index)
+            if payload is not None:
+                entries[index] = payload
+        return entries
+
+
+class PreforkHTTPServer(ServiceHTTPServer):
+    """A worker's HTTP server on the socket inherited from the parent.
+
+    ``accept()`` runs on the shared listening socket — the kernel hands
+    each connection to exactly one worker — and ``GET /stats`` answers
+    with the fleet view merged from the :class:`StatsBoard`.
+    """
+
+    def __init__(
+        self,
+        listen_socket: socket.socket,
+        service: ValidationService,
+        board: StatsBoard | None = None,
+        slot: int = 0,
+        processes: int = 1,
+    ):
+        address = listen_socket.getsockname()[:2]
+        # Skip bind/activate: the parent already did both on the socket
+        # we are adopting; TCPServer's own (unbound) socket is discarded.
+        ThreadingHTTPServer.__init__(self, address, ServiceRequestHandler, bind_and_activate=False)
+        self.socket.close()
+        self.socket = listen_socket
+        self.server_address = address
+        self.server_name, self.server_port = address
+        self.service = service
+        self._owns_service = False
+        self.board = board
+        self.slot = slot
+        self.processes = processes
+
+    def server_close(self) -> None:  # noqa: D102 - stdlib override
+        # The listening socket belongs to the parent (and to sibling
+        # workers); close only this process's file descriptor.
+        self.socket.close()
+
+    def stats_payload(self) -> dict:
+        stats = self.service.stats()
+        if self.board is not None:
+            workers = self.board.read_all()
+            aggregate = {"total": 0, "errors": 0, "in_flight": 0}
+            per_worker = {}
+            live = 0
+            now = time.time()
+            for slot, payload in sorted(workers.items()):
+                # A dead worker's last summary stays in shared memory;
+                # use the timestamp it published to keep stale slots out
+                # of the live count and the aggregate.
+                updated = payload.get("updated_at")
+                stale = not isinstance(updated, (int, float)) or (
+                    now - updated > STALE_AFTER
+                )
+                if not stale:
+                    live += 1
+                    requests = payload.get("requests", {})
+                    for key in aggregate:
+                        value = requests.get(key)
+                        if isinstance(value, (int, float)):
+                            aggregate[key] += value
+                per_worker[str(slot)] = {**payload, "stale": stale}
+            stats["cluster"] = {
+                "processes": self.processes,
+                "live_workers": live,
+                "serving_pid": os.getpid(),
+                "aggregate_requests": aggregate,
+                "workers": per_worker,
+            }
+        return stats
+
+
+def _worker_summary(service: ValidationService) -> dict:
+    stats = service.stats()
+    return {
+        "pid": os.getpid(),
+        "requests": stats["requests"],
+        "pattern_cache": stats["pattern_cache"],
+        "updated_at": time.time(),
+    }
+
+
+def _worker_main(
+    listen_socket: socket.socket,
+    board: StatsBoard,
+    slot: int,
+    processes: int,
+    workers: int,
+) -> None:
+    """Body of one forked worker; never returns (the caller ``_exit``\\ s)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent coordinates shutdown
+    service = ValidationService(workers=workers)
+    server = PreforkHTTPServer(listen_socket, service, board, slot, processes)
+    stop = threading.Event()
+
+    def _publish_loop() -> None:
+        while not stop.is_set():
+            board.publish(slot, _worker_summary(service))
+            stop.wait(PUBLISH_INTERVAL)
+
+    publisher = threading.Thread(target=_publish_loop, daemon=True, name="stats-publisher")
+    publisher.start()
+
+    def _terminate(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever exits; never call it on
+        # the signal-handling (main) thread that serve_forever runs on.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    # No publish here: the publisher thread's first iteration publishes
+    # immediately, and the slot has exactly one writer by construction.
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        stop.set()
+        server.server_close()
+        service.close()
+
+
+def serve_prefork(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    processes: int = 2,
+    workers: int = DEFAULT_WORKERS,
+    snapshot_path: str | None = None,
+) -> None:
+    """Run the prefork front until interrupted (``--processes N`` body)."""
+    if not hasattr(os, "fork"):
+        raise RuntimeError("the prefork front requires os.fork (POSIX)")
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listen.bind((host, port))
+    listen.listen(128)
+    bound_host, bound_port = listen.getsockname()[:2]
+    if snapshot_path:
+        report = api.load_snapshot(snapshot_path)
+        print(
+            f"snapshot {snapshot_path}: {report['patterns_loaded']} patterns / "
+            f"{report['rows_loaded']} rows preloaded, {report['rejected']} rejected",
+            flush=True,
+        )
+    board = StatsBoard(processes)
+    print(
+        f"repro.service prefork listening on http://{bound_host}:{bound_port} "
+        f"({processes} processes x {workers} threads) — POST /match, POST /validate, GET /stats",
+        flush=True,
+    )
+
+    pids: dict[int, int] = {}
+    restarts = [0] * processes
+    shutting_down = False
+
+    def _spawn(slot: int) -> None:
+        pid = os.fork()
+        if pid == 0:
+            try:
+                _worker_main(listen, board, slot, processes, workers)
+            finally:
+                os._exit(0)
+        pids[pid] = slot
+
+    def _terminate(signum: int, frame: object) -> None:
+        nonlocal shutting_down
+        shutting_down = True
+        for pid in list(pids):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    # Handlers go in before the first fork: a signal during the spawn
+    # loop must already broadcast to the children spawned so far.
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
+    previous_int = signal.signal(signal.SIGINT, _terminate)
+    try:
+        for slot in range(processes):
+            _spawn(slot)
+        while pids:
+            try:
+                pid, _status = os.wait()
+            except InterruptedError:
+                continue
+            except ChildProcessError:
+                break
+            slot = pids.pop(pid, None)
+            if slot is None or shutting_down:
+                continue
+            restarts[slot] += 1
+            if restarts[slot] > MAX_RESTARTS_PER_SLOT:
+                print(f"worker slot {slot} exceeded restart budget; leaving it down", flush=True)
+                continue
+            time.sleep(0.1)
+            if shutting_down:
+                # SIGTERM landed during the backoff, after the kill
+                # broadcast: spawning now would orphan a worker and
+                # leave this loop waiting on it forever.
+                continue
+            _spawn(slot)
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        listen.close()

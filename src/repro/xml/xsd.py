@@ -125,12 +125,16 @@ def element_particle(name: str, min_occurs: int = 1, max_occurs: int | None = 1)
 
 def sequence(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
     """A ``<xs:sequence>`` compositor."""
-    return Particle("sequence", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs)
+    return Particle(
+        "sequence", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs
+    )
 
 
 def choice(*children: Particle, min_occurs: int = 1, max_occurs: int | None = 1) -> Particle:
     """A ``<xs:choice>`` compositor."""
-    return Particle("choice", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs)
+    return Particle(
+        "choice", children=tuple(children), min_occurs=min_occurs, max_occurs=max_occurs
+    )
 
 
 def particle_from_dict(data: dict) -> Particle:
@@ -241,7 +245,10 @@ class XSDSchema:
 
     def is_valid_schema(self) -> bool:
         """True when every declared content model satisfies UPA (is deterministic)."""
-        return all(report.deterministic for report in self.check_unique_particle_attribution().values())
+        return all(
+            report.deterministic
+            for report in self.check_unique_particle_attribution().values()
+        )
 
     # -- validation ----------------------------------------------------------------------------
     def validate_children(self, name: str, child_names: Sequence[str]) -> bool:

@@ -164,7 +164,10 @@ def test_rmq_matches_min(values, data):
     assert rmq.min(lo, hi) == min(values[lo:hi])
 
 
-@given(st.lists(st.integers(min_value=0, max_value=127), max_size=60), st.integers(min_value=0, max_value=127))
+@given(
+    st.lists(st.integers(min_value=0, max_value=127), max_size=60),
+    st.integers(min_value=0, max_value=127),
+)
 @settings(max_examples=200, deadline=None)
 def test_veb_predecessor_successor(values, probe):
     tree = VanEmdeBoasTree(128)
@@ -178,7 +181,11 @@ def test_veb_predecessor_successor(values, probe):
 
 @given(
     st.lists(
-        st.tuples(st.sampled_from(["set", "get", "reset", "delete"]), st.integers(0, 15), st.integers(0, 99)),
+        st.tuples(
+            st.sampled_from(["set", "get", "reset", "delete"]),
+            st.integers(0, 15),
+            st.integers(0, 99),
+        ),
         max_size=80,
     )
 )

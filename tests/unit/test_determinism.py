@@ -118,7 +118,8 @@ class TestAgainstGlushkovBaseline:
 
         for expr in dtd_corpus(rng, 150):
             tree = build_parse_tree(expr)
-            assert check_deterministic(tree).deterministic == GlushkovAutomaton(tree).is_deterministic()
+            glushkov_verdict = GlushkovAutomaton(tree).is_deterministic()
+            assert check_deterministic(tree).deterministic == glushkov_verdict
 
     def test_agreement_on_families(self):
         from tests.conftest import deterministic_family_samples

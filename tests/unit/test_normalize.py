@@ -140,9 +140,13 @@ def _convert_keep(expr):
     if isinstance(expr, Sym):
         return pt.TreeNode(pt.NodeKind.SYMBOL, expr.symbol)
     if isinstance(expr, Concat):
-        return pt._make_internal(pt.NodeKind.CONCAT, _convert_keep(expr.left), _convert_keep(expr.right))
+        return pt._make_internal(
+            pt.NodeKind.CONCAT, _convert_keep(expr.left), _convert_keep(expr.right)
+        )
     if isinstance(expr, Union):
-        return pt._make_internal(pt.NodeKind.UNION, _convert_keep(expr.left), _convert_keep(expr.right))
+        return pt._make_internal(
+            pt.NodeKind.UNION, _convert_keep(expr.left), _convert_keep(expr.right)
+        )
     if isinstance(expr, Star):
         return pt._make_internal(pt.NodeKind.STAR, _convert_keep(expr.child), None)
     if isinstance(expr, Plus):

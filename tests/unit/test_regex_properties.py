@@ -1,6 +1,5 @@
 """Unit tests for the structural classifiers (k-ORE, CHARE, star-free, c_e)."""
 
-import pytest
 
 from repro.regex.generators import (
     bounded_occurrence,

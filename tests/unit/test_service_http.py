@@ -167,7 +167,9 @@ class TestPlumbing:
         _post(server_port, "/match", {"pattern": "(ab)*", "words": ["ab"]})
         status, body = _get(server_port, "/stats")
         assert status == 200
-        assert {"service", "requests", "pattern_cache", "patterns", "validators", "shared_rows"} <= set(body)
+        assert {
+            "service", "requests", "pattern_cache", "patterns", "validators", "shared_rows"
+        } <= set(body)
         requests = body["requests"]
         assert requests["total"] >= 1
         assert requests["in_flight"] == 0

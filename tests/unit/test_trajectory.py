@@ -1,0 +1,97 @@
+"""The perf-trajectory merger (benchmarks/trajectory.py) used by CI.
+
+Loaded straight from its file path: ``benchmarks/`` is not importable
+from the tier-1 run (testpaths pins collection to ``tests/``), but the
+merger must stay a plain stdlib script so the CI job can run it with the
+runner's bare python.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+TRAJECTORY_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "trajectory.py"
+
+_spec = importlib.util.spec_from_file_location("bench_trajectory", TRAJECTORY_PATH)
+trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trajectory)
+
+
+def _bench_file(path: Path, names_and_medians: dict[str, float], rounds: int = 5) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {
+                        "name": name,
+                        "stats": {
+                            "median": median,
+                            "mean": median * 1.1,
+                            "ops": 1.0 / median,
+                            "rounds": rounds,
+                        },
+                    }
+                    for name, median in names_and_medians.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+def test_merge_combines_all_artifacts(tmp_path):
+    first = _bench_file(tmp_path / "BENCH_runtime.json", {"test_compiled": 0.002})
+    second = _bench_file(tmp_path / "BENCH_service.json", {"test_batch": 0.5})
+    merged = trajectory.merge([first, second])
+    assert set(merged["benchmarks"]) == {"test_compiled", "test_batch"}
+    assert merged["benchmarks"]["test_batch"]["median_s"] == 0.5
+    assert merged["benchmarks"]["test_compiled"]["source"] == "BENCH_runtime.json"
+    assert len(merged["sources"]) == 2 and not merged["skipped"]
+
+
+def test_merge_prefers_better_sampled_duplicates(tmp_path):
+    sparse = _bench_file(tmp_path / "a.json", {"test_x": 1.0}, rounds=2)
+    dense = _bench_file(tmp_path / "b.json", {"test_x": 2.0}, rounds=9)
+    merged = trajectory.merge([sparse, dense])
+    assert merged["benchmarks"]["test_x"]["median_s"] == 2.0
+    assert merged["benchmarks"]["test_x"]["rounds"] == 9
+
+
+def test_merge_skips_non_benchmark_files(tmp_path):
+    good = _bench_file(tmp_path / "BENCH_ok.json", {"test_y": 0.25})
+    garbage = tmp_path / "noise.json"
+    garbage.write_text("{not json")
+    missing = tmp_path / "never-written.json"
+    merged = trajectory.merge([good, garbage, missing])
+    assert set(merged["benchmarks"]) == {"test_y"}
+    assert len(merged["skipped"]) == 2
+
+
+def test_markdown_table_lists_every_benchmark(tmp_path):
+    source = _bench_file(
+        tmp_path / "BENCH_all.json", {"test_fast": 0.000004, "test_slow": 2.5}
+    )
+    merged = trajectory.merge([source])
+    table = trajectory.to_markdown(merged)
+    assert "| `test_fast` | 4.000 µs |" in table
+    assert "| `test_slow` | 2.500 s |" in table
+    assert table.startswith("## Benchmark trajectory")
+
+
+def test_main_writes_merged_artifact(tmp_path, capsys, monkeypatch):
+    source = _bench_file(tmp_path / "BENCH_one.json", {"test_z": 0.125})
+    out = tmp_path / "BENCH_trajectory.json"
+    exit_code = trajectory.main([str(source), "--out", str(out), "--markdown"])
+    assert exit_code == 0
+    merged = json.loads(out.read_text())
+    assert merged["benchmarks"]["test_z"]["median_s"] == 0.125
+    assert "test_z" in capsys.readouterr().out
+
+
+def test_main_fails_loudly_on_empty_input(tmp_path):
+    garbage = tmp_path / "noise.json"
+    garbage.write_text("[]")
+    out = tmp_path / "BENCH_trajectory.json"
+    assert trajectory.main([str(garbage), "--out", str(out)]) == 1

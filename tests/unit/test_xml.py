@@ -64,7 +64,8 @@ class TestXMLParser:
 
     def test_doctype_with_internal_subset(self):
         parsed = parse_xml(
-            "<!DOCTYPE book [<!ELEMENT book (title)><!ELEMENT title (#PCDATA)>]><book><title/></book>"
+            "<!DOCTYPE book [<!ELEMENT book (title)><!ELEMENT title (#PCDATA)>]>"
+            "<book><title/></book>"
         )
         assert parsed.doctype_name == "book"
         assert "<!ELEMENT book" in parsed.internal_subset
@@ -279,7 +280,9 @@ class TestXSD:
         return schema
 
     def test_particle_to_regex_and_describe(self):
-        particle = sequence(element_particle("a", 2, 4), choice(element_particle("b"), element_particle("c")))
+        particle = sequence(
+            element_particle("a", 2, 4), choice(element_particle("b"), element_particle("c"))
+        )
         expression = particle.to_regex()
         assert expression.positions() == ["a", "b", "c"]
         assert "{2,4}" in particle.describe()
