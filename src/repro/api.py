@@ -51,6 +51,7 @@ who want to instrument or extend the algorithms.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Callable, Iterable, Sequence
@@ -118,6 +119,9 @@ class Pattern:
         self._runtime: CompiledRuntime | None = None
         #: ``False`` until probed, then a StarFreeMultiMatcher or ``None``
         self._batch_multi: object = False
+        #: lazily built whole-sequence acceptance memo (the XML
+        #: validators' per-element cache; see :meth:`acceptance_memo`)
+        self._acceptance_memo = None
         #: guards lazy construction (matcher, runtime, batch matcher) so
         #: worker threads sharing one cached pattern build each exactly once
         self._init_lock = threading.Lock()
@@ -261,6 +265,29 @@ class Pattern:
                     self._batch_multi = multi
         return multi
 
+    def acceptance_memo(self):
+        """The pattern's whole-sequence acceptance memo (built on first use).
+
+        A bounded :class:`~repro.xml.memo.AcceptanceMemo` caching
+        ``symbol-sequence → verdict`` answers.  The DTD/XSD validators
+        consult it per element occurrence, so repeated child sequences —
+        the dominant real-schema workload — cost one dict probe.  Living
+        on the (cached) pattern, one memo is shared by every validator
+        compiling a structurally equal content model, and
+        :func:`save_snapshot` persists it keyed by the pattern's
+        fingerprint (the ``MEMO`` section of snapshot format v2).
+        """
+        memo = self._acceptance_memo
+        if memo is None:
+            with self._init_lock:
+                memo = self._acceptance_memo
+                if memo is None:
+                    from .xml.memo import AcceptanceMemo
+
+                    memo = AcceptanceMemo()
+                    self._acceptance_memo = memo
+        return memo
+
     def stream(self) -> MatchRun | CompiledRun:
         """Begin a streaming match (feed symbols one at a time).
 
@@ -315,6 +342,18 @@ class Pattern:
         if matcher is None:
             return None
         return getattr(matcher, "_compiled_runtime", None)
+
+    def _built_batch_matcher(self):
+        """The star-free multi-matcher if it already exists, without forcing it.
+
+        The telemetry/persistence counterpart of :meth:`_built_runtime`:
+        returns ``None`` until some ``match_all`` call has routed through
+        the Theorem-4.12 batch path.
+        """
+        multi = self._batch_multi
+        if multi is False or multi is None:
+            return None
+        return multi
 
     def runtime_stats(self) -> dict[str, int] | None:
         """Lazy-DFA materialization stats, or ``None`` before any matching."""
@@ -526,27 +565,55 @@ class _SnapshotTelemetry:
         self._lock = threading.Lock()
         self.saves = 0
         self.loads = 0
+        self.format_v1 = 0
+        self.format_v2 = 0
         self.patterns_saved = 0
         self.rows_saved = 0
+        self.tables_saved = 0
+        self.memo_entries_saved = 0
         self.patterns_skipped = 0
         self.patterns_loaded = 0
         self.rows_loaded = 0
+        self.tables_loaded = 0
+        self.memo_entries_loaded = 0
         self.snapshot_rejected = 0
         self.rejected_reasons: dict[str, int] = {}
         self.last_error: str | None = None
 
-    def record_save(self, patterns: int, rows: int, skipped: int) -> None:
+    def record_save(
+        self,
+        patterns: int,
+        rows: int,
+        skipped: int,
+        tables: int = 0,
+        memo_entries: int = 0,
+    ) -> None:
         with self._lock:
             self.saves += 1
             self.patterns_saved += patterns
             self.rows_saved += rows
             self.patterns_skipped += skipped
+            self.tables_saved += tables
+            self.memo_entries_saved += memo_entries
 
-    def record_load(self, patterns: int, rows: int) -> None:
+    def record_load(
+        self,
+        patterns: int,
+        rows: int,
+        tables: int = 0,
+        memo_entries: int = 0,
+        format_version: int = 2,
+    ) -> None:
         with self._lock:
             self.loads += 1
             self.patterns_loaded += patterns
             self.rows_loaded += rows
+            self.tables_loaded += tables
+            self.memo_entries_loaded += memo_entries
+            if format_version == 1:
+                self.format_v1 += 1
+            else:
+                self.format_v2 += 1
 
     def record_reject(self, reason: str, message: str) -> None:
         with self._lock:
@@ -559,11 +626,17 @@ class _SnapshotTelemetry:
             return {
                 "saves": self.saves,
                 "loads": self.loads,
+                "format_v1": self.format_v1,
+                "format_v2": self.format_v2,
                 "patterns_saved": self.patterns_saved,
                 "rows_saved": self.rows_saved,
+                "tables_saved": self.tables_saved,
+                "memo_entries_saved": self.memo_entries_saved,
                 "patterns_skipped": self.patterns_skipped,
                 "patterns_loaded": self.patterns_loaded,
                 "rows_loaded": self.rows_loaded,
+                "tables_loaded": self.tables_loaded,
+                "memo_entries_loaded": self.memo_entries_loaded,
                 "snapshot_rejected": self.snapshot_rejected,
                 "rejected_reasons": dict(self.rejected_reasons),
                 "last_error": self.last_error,
@@ -619,132 +692,357 @@ def _snapshot_meta(key: tuple, pattern: Pattern) -> dict | None:
 
 
 def save_snapshot(path: str, complete: bool = True) -> dict:
-    """Persist every warm pattern's dense rows to *path* (atomically).
+    """Persist every warm pattern's materialized state to *path* (atomically).
 
-    Walks the compile cache, exports each pattern that has exercised its
-    compiled runtime (see
-    :meth:`~repro.matching.runtime.CompiledRuntime.export_rows`; with
-    *complete*, visited dict rows are densified and all acceptance
-    verdicts resolved first, so the snapshot replays with zero matcher
-    delegations), and writes one checksummed file via
-    :func:`repro.matching.snapshot.write`.  Patterns without materialized
-    rows — or whose expression text does not round-trip — are skipped and
-    counted.  Returns ``{"path", "patterns", "rows", "pool_rows",
-    "bytes", "skipped"}``.
+    Walks the compile cache and writes one checksummed format-v2 file
+    (:func:`repro.matching.snapshot.write`) with up to three sections per
+    the state each pattern holds:
+
+    * dense lazy-DFA rows
+      (:meth:`~repro.matching.runtime.CompiledRuntime.export_rows`; with
+      *complete*, visited dict rows are densified and all acceptance
+      verdicts resolved first, so the snapshot replays with zero matcher
+      delegations);
+    * the star-free multi-matcher's decision/acceptance tables
+      (:meth:`~repro.matching.star_free.StarFreeMultiMatcher.export_tables`);
+    * the validators' per-element acceptance memos
+      (:meth:`~repro.xml.memo.AcceptanceMemo.export`).
+
+    Patterns with no materialized state in any section — or whose
+    expression text does not round-trip — are skipped and counted.
+    Returns ``{"path", "patterns", "rows", "pool_rows",
+    "star_free_patterns", "decisions", "memo_patterns", "memo_entries",
+    "sections", "bytes", "skipped"}``.
     """
     from .matching import snapshot as snapshot_format
 
-    entries = []
+    rows_entries = []
+    table_entries = []
+    memo_entries = []
     skipped = 0
     for key, pattern in _CACHE.items():
+        row_export = None
         runtime = pattern._built_runtime()
-        if runtime is None:
+        if runtime is not None:
+            row_export = runtime.export_rows(complete=complete)
+            if not row_export["rows"]:
+                row_export = None
+        table_export = None
+        multi = pattern._built_batch_matcher()
+        if multi is not None:
+            table_export = multi.export_tables()
+            if not table_export["accepts"] and not table_export["decisions"]:
+                table_export = None
+        memo = pattern._acceptance_memo
+        memo_export = memo.export() if memo is not None and len(memo) else None
+        if row_export is None and table_export is None and memo_export is None:
             skipped += 1
             continue
         meta = _snapshot_meta(key, pattern)
         if meta is None:
             skipped += 1
             continue
-        export = runtime.export_rows(complete=complete)
-        if not export["rows"]:
-            skipped += 1
-            continue
-        entries.append(
-            {
-                "fingerprint": snapshot_format.pattern_fingerprint(meta),
-                "meta": meta,
-                "accepts": export["accepts"],
-                "rows": export["rows"],
-            }
-        )
-    written = snapshot_format.write(path, entries)
-    _SNAPSHOT_TELEMETRY.record_save(written["patterns"], written["rows"], skipped)
+        fingerprint = snapshot_format.pattern_fingerprint(meta)
+        if row_export is not None:
+            rows_entries.append(
+                {
+                    "fingerprint": fingerprint,
+                    "meta": meta,
+                    "accepts": row_export["accepts"],
+                    "rows": row_export["rows"],
+                }
+            )
+        if table_export is not None:
+            table_entries.append(
+                {
+                    "fingerprint": fingerprint,
+                    "meta": meta,
+                    "accepts": table_export["accepts"],
+                    "decisions": table_export["decisions"],
+                }
+            )
+        if memo_export is not None:
+            memo_entries.append(
+                {"fingerprint": fingerprint, "meta": meta, "entries": memo_export}
+            )
+    written = snapshot_format.write(path, rows_entries, star_free=table_entries, memos=memo_entries)
+    _SNAPSHOT_TELEMETRY.record_save(
+        written["patterns"],
+        written["rows"],
+        skipped,
+        tables=written["star_free_patterns"],
+        memo_entries=written["memo_entries"],
+    )
     return {"path": str(path), "skipped": skipped, **written}
 
 
+#: Timeout (seconds) for fetching a snapshot over HTTP (``--snapshot-url``).
+SNAPSHOT_FETCH_TIMEOUT = 30.0
+
+
+def _resolve_snapshot_pattern(meta: dict, fingerprint: bytes) -> Pattern:
+    """Recompile the pattern a snapshot entry describes and verify identity.
+
+    Re-derives the fingerprint from the *live* pattern (current parser,
+    tree builder, alphabet encoding) and raises ``SnapshotError
+    ("fingerprint")`` on any drift — stale snapshots retire themselves.
+    """
+    from .matching import snapshot as snapshot_format
+
+    if meta.get("key_kind") == "text":
+        expr: Regex | str = meta["expr"]
+    else:
+        expr = parse(meta["expr"], dialect=meta["parse_dialect"])
+    pattern = compile(
+        expr,
+        dialect=meta["dialect"],
+        strategy=meta["strategy"],
+        compiled=bool(meta["compiled"]),
+    )
+    live = dict(meta)
+    live["alphabet"] = pattern.tree.alphabet.as_list()
+    live["positions"] = len(pattern.tree.positions)
+    live["width"] = len(pattern.tree.alphabet)
+    if snapshot_format.pattern_fingerprint(live) != fingerprint:
+        raise SnapshotError(
+            "fingerprint",
+            f"snapshot entry for {meta.get('expr')!r} does not match this build",
+        )
+    return pattern
+
+
+def _load_snapshot_url(url: str) -> dict:
+    """Fetch a snapshot over HTTP (``GET /snapshot``) and load it.
+
+    The fleet-bootstrap path: a fresh host downloads the current file
+    from a running server into a temporary file, loads it exactly like a
+    local snapshot, then unlinks the temp file (the mmap keeps the pages
+    alive for every adopted row).  A fetch failure is a counted
+    ``"fetch"`` rejection — the host simply boots cold.
+    """
+    import http.client
+    import shutil
+    import tempfile
+    import urllib.error
+    import urllib.request
+
+    try:
+        fd, temp_path = tempfile.mkstemp(prefix=".snapshot-fetch-")
+        try:
+            # fdopen first: it owns the descriptor from here on, so a
+            # failed urlopen cannot leak the mkstemp fd (a bootstrap
+            # retry loop against a dead fleet must not bleed fds).
+            with os.fdopen(fd, "wb") as handle:
+                with urllib.request.urlopen(url, timeout=SNAPSHOT_FETCH_TIMEOUT) as response:
+                    shutil.copyfileobj(response, handle)
+        except BaseException:
+            os.unlink(temp_path)
+            raise
+    except (OSError, urllib.error.URLError, http.client.HTTPException, ValueError) as error:
+        # HTTPException covers protocol-level garbage (BadStatusLine from
+        # a non-HTTP endpoint or broken proxy) — still just a cold start.
+        message = f"cannot fetch snapshot from {url!r}: {error}"
+        _SNAPSHOT_TELEMETRY.record_reject("fetch", message)
+        return {
+            "path": url,
+            "url": url,
+            "format": None,
+            "patterns_loaded": 0,
+            "rows_loaded": 0,
+            "tables_loaded": 0,
+            "table_entries_loaded": 0,
+            "memos_loaded": 0,
+            "memo_entries_loaded": 0,
+            "rejected": 1,
+            "errors": [message],
+        }
+    try:
+        result = load_snapshot(temp_path)
+    finally:
+        try:
+            # POSIX: the mmap holds the inode; adopted rows stay valid.
+            os.unlink(temp_path)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+    result["url"] = url
+    result["path"] = url
+    return result
+
+
 def load_snapshot(path: str) -> dict:
-    """Adopt the dense rows persisted at *path* into the compile cache.
+    """Adopt the warm state persisted at *path* (or an ``http(s)://`` URL).
 
     The file is mmap'd read-only (loading it in a parent before forking
     shares the row pages copy-on-write across every worker); each entry
     re-compiles its pattern from the recorded identity, re-derives the
-    fingerprint from the *live* pattern and adopts the rows only on an
-    exact match.  Corrupt or stale input degrades, never breaks: any
-    validation failure — at the file level or per entry — is counted in
-    :func:`snapshot_stats` under ``snapshot_rejected`` and matching
-    simply proceeds with the normal lazy fill.  Adopted rows keep the
-    underlying mapping alive for as long as they are referenced; the
-    snapshot object itself is not retained.  Returns ``{"path",
-    "patterns_loaded", "rows_loaded", "rejected", "errors"}``.
+    fingerprint from the *live* pattern and adopts only on an exact
+    match.  All three v2 sections are adopted independently — dense rows
+    into the compiled runtimes, star-free tables into the Theorem-4.12
+    batch matchers, acceptance memos onto the patterns — and v1 files
+    (rows only) still load, counted under ``format_v1``.  Given an
+    ``http://``/``https://`` URL the file is first fetched from a
+    running server's ``GET /snapshot`` (fleet bootstrap).
+
+    Corrupt or stale input degrades, never breaks: any validation
+    failure — at the file level, per section, or per entry — is counted
+    in :func:`snapshot_stats` under ``snapshot_rejected`` and matching
+    simply proceeds with the normal lazy rebuild of that piece.  Adopted
+    rows keep the underlying mapping alive for as long as they are
+    referenced; the snapshot object itself is not retained.  Returns
+    ``{"path", "format", "patterns_loaded", "rows_loaded",
+    "tables_loaded", "table_entries_loaded", "memos_loaded",
+    "memo_entries_loaded", "rejected", "errors"}``.
     """
     from .matching import snapshot as snapshot_format
 
+    source = os.fspath(path) if not isinstance(path, str) else path
+    if isinstance(source, str) and source.startswith(("http://", "https://")):
+        return _load_snapshot_url(source)
+
     result: dict = {
         "path": str(path),
+        "format": None,
         "patterns_loaded": 0,
         "rows_loaded": 0,
+        "tables_loaded": 0,
+        "table_entries_loaded": 0,
+        "memos_loaded": 0,
+        "memo_entries_loaded": 0,
         "rejected": 0,
         "errors": [],
     }
+
+    def reject(error: Exception, prefix: str = "") -> None:
+        if isinstance(error, SnapshotError):
+            reason, message = error.reason, str(error)
+        else:
+            reason, message = "entry", repr(error)
+        _SNAPSHOT_TELEMETRY.record_reject(reason, prefix + message)
+        result["rejected"] += 1
+        result["errors"].append(prefix + message)
+
     try:
         snapshot = snapshot_format.load(path)
     except SnapshotError as error:
-        _SNAPSHOT_TELEMETRY.record_reject(error.reason, str(error))
-        result["rejected"] = 1
-        result["errors"].append(str(error))
+        reject(error)
         return result
+    result["format"] = snapshot.format_version
+    for tag, section_error in snapshot.section_errors:
+        reject(section_error, prefix=f"section {tag}: ")
+
+    # One pattern typically appears in several sections (rows + tables +
+    # memos); resolve each fingerprint once per load so the bootstrap
+    # window does not re-parse and re-hash the same expression per
+    # section (the cost the bench gate puts on the clock).
+    resolved: dict[bytes, Pattern] = {}
+
+    def resolve(meta: dict, fingerprint: bytes) -> Pattern:
+        pattern = resolved.get(fingerprint)
+        if pattern is None:
+            pattern = _resolve_snapshot_pattern(meta, fingerprint)
+            resolved[fingerprint] = pattern
+        return pattern
+
     for entry in snapshot.entries:
         try:
-            meta = entry.meta
-            if meta.get("key_kind") == "text":
-                expr: Regex | str = meta["expr"]
-            else:
-                expr = parse(meta["expr"], dialect=meta["parse_dialect"])
-            pattern = compile(
-                expr,
-                dialect=meta["dialect"],
-                strategy=meta["strategy"],
-                compiled=bool(meta["compiled"]),
-            )
-            live = dict(meta)
-            live["alphabet"] = pattern.tree.alphabet.as_list()
-            live["positions"] = len(pattern.tree.positions)
-            live["width"] = len(pattern.tree.alphabet)
-            if snapshot_format.pattern_fingerprint(live) != entry.fingerprint:
-                raise SnapshotError(
-                    "fingerprint",
-                    f"snapshot entry for {meta.get('expr')!r} does not match this build",
-                )
+            pattern = resolve(entry.meta, entry.fingerprint)
             result["rows_loaded"] += pattern.runtime.adopt_rows(entry.accepts, entry.rows())
             result["patterns_loaded"] += 1
-        except SnapshotError as error:
-            _SNAPSHOT_TELEMETRY.record_reject(error.reason, str(error))
-            result["rejected"] += 1
-            result["errors"].append(str(error))
-        except (ReproError, KeyError, TypeError, ValueError) as error:
-            _SNAPSHOT_TELEMETRY.record_reject("entry", repr(error))
-            result["rejected"] += 1
-            result["errors"].append(repr(error))
+        except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
+            reject(error)
+    for table_entry in snapshot.star_free:
+        try:
+            pattern = resolve(table_entry.meta, table_entry.fingerprint)
+            multi = pattern._batch_matcher()
+            if multi is None:
+                raise SnapshotError(
+                    "star-free",
+                    f"{table_entry.meta.get('expr')!r} does not take the star-free "
+                    "batch path in this build",
+                )
+            result["table_entries_loaded"] += multi.adopt_tables(
+                table_entry.accepts, table_entry.decisions
+            )
+            result["tables_loaded"] += 1
+        except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
+            reject(error)
+    for memo_entry in snapshot.memos:
+        try:
+            pattern = resolve(memo_entry.meta, memo_entry.fingerprint)
+            result["memo_entries_loaded"] += pattern.acceptance_memo().adopt(memo_entry.entries)
+            result["memos_loaded"] += 1
+        except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
+            reject(error)
     # No explicit pinning: every adopted row is a memoryview chain rooted
     # at the snapshot's mmap, so the mapping lives exactly as long as
     # some runtime still references a row from it — repeated loads of
     # refreshed snapshots cannot accumulate dead mappings.
-    _SNAPSHOT_TELEMETRY.record_load(result["patterns_loaded"], result["rows_loaded"])
+    if snapshot.sections:
+        # A load is counted (and attributed to its format) only when at
+        # least one section validated — a file whose every section was
+        # rejected is a cold start, not a successful load, and must not
+        # look healthy on a dashboard watching loads/format_v2.
+        _SNAPSHOT_TELEMETRY.record_load(
+            result["patterns_loaded"],
+            result["rows_loaded"],
+            tables=result["tables_loaded"],
+            memo_entries=result["memo_entries_loaded"],
+            format_version=snapshot.format_version,
+        )
     return result
+
+
+def _materialization() -> dict:
+    """Gauge of the matching state currently materialized in this process.
+
+    Walks the compile cache without forcing anything: memoized lazy-DFA
+    transitions/acceptances, star-free decision/acceptance table entries
+    and validator memo entries, plus a ``total``.  The snapshot
+    auto-refresh policy compares ``total`` across time to decide when
+    the on-disk snapshot has gone stale.
+    """
+    patterns = 0
+    transitions = 0
+    star_free_entries = 0
+    memo_entries = 0
+    for _key, pattern in _CACHE.items():
+        patterns += 1
+        runtime = pattern._built_runtime()
+        if runtime is not None:
+            transitions += runtime.materialized()
+        multi = pattern._built_batch_matcher()
+        if multi is not None:
+            table = multi.table_stats()
+            star_free_entries += table["decisions"] + table["accepts"]
+        memo = pattern._acceptance_memo
+        if memo is not None:
+            memo_entries += len(memo)
+    return {
+        "patterns": patterns,
+        "transitions": transitions,
+        "star_free_entries": star_free_entries,
+        "memo_entries": memo_entries,
+        "total": transitions + star_free_entries + memo_entries,
+    }
 
 
 def snapshot_stats() -> dict:
     """Process-wide snapshot telemetry (saves, loads, adoption, rejects).
 
-    ``snapshot_rejected`` counts every validation failure — whole files
-    and individual entries — with ``rejected_reasons`` breaking them down
-    by kind (``"checksum"``, ``"version"``, ``"fingerprint"``,
-    ``"alphabet-width"``, ...); rejects are the designed degradation
-    path, so a non-zero count means cold starts, never wrong verdicts.
-    Merged into the validation service's ``GET /stats`` under
-    ``"snapshot"``.
+    ``snapshot_rejected`` counts every validation failure — whole files,
+    v2 sections and individual entries — with ``rejected_reasons``
+    breaking them down by kind (``"checksum"``, ``"version"``,
+    ``"fingerprint"``, ``"alphabet-width"``, ``"table-bounds"``,
+    ``"memo-entry"``, ``"fetch"``, ...); rejects are the designed
+    degradation path, so a non-zero count means cold starts, never wrong
+    verdicts.  ``format_v1``/``format_v2`` count successful loads per
+    file format.  ``materialized`` is a live gauge of the state the
+    *next* :func:`save_snapshot` would persist — the auto-refresh thread
+    (:class:`repro.service.prefork.SnapshotRefresher`) watches its
+    ``total``.  Merged into the validation service's ``GET /stats``
+    under ``"snapshot"``.
     """
-    return _SNAPSHOT_TELEMETRY.stats()
+    return {**_SNAPSHOT_TELEMETRY.stats(), "materialized": _materialization()}
 
 
 def match(expr: Regex | str, word: str | Sequence[str], dialect: str = "paper") -> bool:

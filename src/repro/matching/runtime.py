@@ -463,11 +463,12 @@ class CompiledRuntime:
                     "alphabet-width",
                     f"snapshot row has {len(row)} entries for alphabet width {width}",
                 )
-            for target in row:
-                if not DEAD <= target < position_count:
-                    raise SnapshotError(
-                        "row-bounds", f"snapshot transition target {target} out of range"
-                    )
+            # min/max run the scan at C speed; a snapshot-preloaded boot
+            # validates every adopted target, so this loop is hot.
+            if width and (min(row) < DEAD or max(row) >= position_count):
+                raise SnapshotError(
+                    "row-bounds", "snapshot transition target out of range"
+                )
         if accepts is not None:
             if len(accepts) != position_count:
                 raise SnapshotError(
@@ -475,9 +476,9 @@ class CompiledRuntime:
                     f"snapshot acceptance table covers {len(accepts)} of "
                     f"{position_count} states",
                 )
-            for value in accepts:
-                if value not in (0, 1, 0xFF):
-                    raise SnapshotError("malformed", f"invalid acceptance byte {value}")
+            if not set(accepts) <= {0, 1, 0xFF}:
+                bad = sorted(set(accepts) - {0, 1, 0xFF})[0]
+                raise SnapshotError("malformed", f"invalid acceptance byte {bad}")
         adopted = 0
         with self._lock:
             for state, row in rows.items():
@@ -490,6 +491,24 @@ class CompiledRuntime:
                     if value != 0xFF and self._accepts[state] < 0:
                         self._accepts[state] = value
         return adopted
+
+    def materialized(self) -> int:
+        """Single-number gauge of how much state this runtime holds.
+
+        Counts every memoized transition — adopted rows *included*, since
+        re-persisting them still costs bytes — plus every resolved
+        acceptance verdict.  The snapshot auto-refresh policy
+        (:class:`repro.service.prefork.SnapshotRefresher`) compares this
+        level across time to decide when the on-disk snapshot is stale.
+        """
+        total = 0
+        for row in self._rows:
+            if row is not None:
+                total += len(row)
+        for verdict in self._accepts:
+            if verdict >= 0:
+                total += 1
+        return total
 
     # -- introspection -------------------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -1,4 +1,4 @@
-"""Persisted dense-row snapshots: the lazy DFA survives process boundaries.
+"""Persisted warm-state snapshots: materialized matching state survives processes.
 
 The compiled runtime (:mod:`repro.matching.runtime`) turns Section-4
 matchers into integer transition rows, but every process re-exercises
@@ -6,34 +6,48 @@ those rows from scratch: cold starts pay the full matcher preprocessing
 plus one structure query per ``(state, symbol)`` pair.  The Li et al.
 large-scale schema study (arXiv:1805.12503) shows real-world content
 models repeat heavily across schemas — exactly the workload where the
-rows one warm process has materialized are the rows the next thousand
-processes will need.  This module persists them:
+state one warm process has materialized is the state the next thousand
+processes will need.  This module persists it.
 
-* a **versioned, checksummed binary format** holding, per pattern, a
-  *fingerprint* (SHA-256 over the reconstruction identity: expression
-  text, dialects, strategy, frozen-alphabet encoding, position count),
-  the per-state acceptance verdicts, and every completed dense
-  ``array('i')`` row;
-* rows are written through a **file-level interning pool** mirroring the
-  in-memory registry: structurally equal rows are stored once and
-  referenced by index, so the Li-style repetition collapses on disk too;
-* snapshots are **written atomically** (temp file + ``os.replace``) and
-  **loaded via ``mmap``**: adopted rows are zero-copy ``memoryview``
-  slices into the page cache, so forked workers — and independent
-  processes loading the same file — share the row pages copy-on-write
-  instead of each materializing a private copy;
-* **corruption can never change a verdict**: the loader validates magic,
-  version, byte order, item size, bounds and a CRC-32 of the whole
-  payload; adoption re-derives the fingerprint from the live pattern and
-  bounds-checks every state and target.  Any mismatch raises
-  :class:`SnapshotError` (tagged with a ``reason``), which the API layer
-  converts into a counted ``snapshot_rejected`` stat and a plain cold
-  start — the lazy fill path is always there underneath.
+**Format v2** stores three independent *sections* behind one CRC-checked
+header + directory:
+
+* ``ROWS`` — the dense lazy-DFA rows (the v1 payload, unchanged): per
+  pattern a *fingerprint* (SHA-256 over the reconstruction identity),
+  per-state acceptance verdicts and every completed dense ``array('i')``
+  row, with rows written through a **file-level interning pool**
+  mirroring the in-memory registry;
+* ``SFTB`` — the star-free multi-matcher's memoized tables
+  (:meth:`repro.matching.star_free.StarFreeMultiMatcher.export_tables`):
+  per pattern the ``(entry, scanned) → advance/dead/retain`` decision
+  memo and the per-position acceptance verdicts, keyed by the same
+  fingerprints;
+* ``MEMO`` — the XML validators' per-element acceptance memos
+  (:mod:`repro.xml.memo`): ``child-sequence → verdict`` entries, again
+  keyed by pattern fingerprint.
+
+Every section carries its own CRC-32 in the directory, so corruption
+**degrades per section**: a bit flip inside one section rejects only
+that section (recorded in :attr:`Snapshot.section_errors`, counted by
+the API layer) while the other two still adopt.  Header/directory
+corruption, truncation, or a foreign file reject the whole load.  In
+either case the fallback is the normal lazy rebuild — **corruption can
+never change a verdict** (the property suite flips random bits end to
+end and checks exactly that).
+
+Version-1 files (rows only) still load; the API layer counts them under
+``format_v1``.  Snapshots are written atomically (temp file +
+``os.replace``) and loaded via ``mmap``: adopted rows are zero-copy
+``memoryview`` slices into the page cache, so forked workers — and
+independent processes loading the same file — share the row pages
+copy-on-write.
 
 The user-facing surface lives in :mod:`repro.api`
-(``save_snapshot`` / ``load_snapshot`` / ``snapshot_stats``); the prefork
-service front (:mod:`repro.service.prefork`) preloads a snapshot before
-forking so every worker boots warm.  Format details and compatibility
+(``save_snapshot`` / ``load_snapshot`` / ``snapshot_stats``); the
+serving layer adds a live lifecycle on top — a background
+re-persist thread (:class:`repro.service.prefork.SnapshotRefresher`)
+and a ``GET /snapshot`` endpoint streaming the current file so a fresh
+host bootstraps from a running fleet.  Format details and compatibility
 rules are documented in ``docs/snapshot.md``.
 """
 
@@ -52,16 +66,37 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-#: First 8 bytes of every snapshot file.  The trailing digit doubles as a
-#: coarse format generation: readers reject anything but an exact match.
+#: First 8 bytes of every snapshot file.  Shared by format versions 1 and
+#: 2 (the ``version`` field right after it is what distinguishes them);
+#: readers reject anything but an exact match.
 MAGIC = b"RPRODFA1"
 
-#: Format version (u16 in the header); bump on any layout change.
-VERSION = 1
+#: Current format version (u16 in the header); version-1 files (rows
+#: only) are still accepted by :func:`load`.
+VERSION = 2
 
-#: Fixed-size header: magic, version, itemsize, byteorder flag,
+#: Version-1 fixed-size header: magic, version, itemsize, byteorder flag,
 #: pattern count, payload CRC-32, payload length.
-_HEADER = struct.Struct("<8sHBBIIQ")
+_HEADER_V1 = struct.Struct("<8sHBBIIQ")
+
+#: Version-2 fixed-size header: magic, version, itemsize, byteorder flag,
+#: section count, directory CRC-32.  The CRC covers the directory bytes
+#: that follow, so a flipped header/directory byte rejects the whole
+#: file before any section is trusted.
+_HEADER_V2 = struct.Struct("<8sHBBII")
+
+#: One directory entry per section: 4-byte tag, payload CRC-32, absolute
+#: file offset, payload length.
+_SECTION = struct.Struct("<4sIQQ")
+
+#: Section tags.  Unknown tags are skipped on load (forward compatibility).
+SECTION_ROWS = b"ROWS"
+SECTION_TABLES = b"SFTB"
+SECTION_MEMOS = b"MEMO"
+
+#: Upper bound on the section count a reader will accept; the writer
+#: emits at most three.
+MAX_SECTIONS = 16
 
 #: Dense rows are ``array('i')``; snapshots record the writer's itemsize
 #: and readers reject a mismatch instead of reinterpreting the bytes.
@@ -96,9 +131,10 @@ class SnapshotError(Exception):
     """A snapshot failed validation; carries a machine-readable *reason*.
 
     Reasons are short tags (``"truncated"``, ``"checksum"``,
-    ``"fingerprint"``, ``"alphabet-width"``, ...) that the API layer's
-    ``snapshot_rejected`` telemetry counts per kind.  The error is always
-    recoverable: callers degrade to the normal lazy fill.
+    ``"fingerprint"``, ``"alphabet-width"``, ``"table-bounds"``, ...)
+    that the API layer's ``snapshot_rejected`` telemetry counts per
+    kind.  The error is always recoverable: callers degrade to the
+    normal lazy fill.
     """
 
     def __init__(self, reason: str, message: str):
@@ -131,7 +167,7 @@ def pattern_fingerprint(meta: Mapping[str, object]) -> bytes:
 
 @dataclass(frozen=True, slots=True)
 class SnapshotEntry:
-    """One pattern's persisted state inside a loaded snapshot.
+    """One pattern's persisted dense rows inside a loaded snapshot.
 
     ``rows()`` materializes ``{state: row}`` where each row is a
     zero-copy ``memoryview`` into the snapshot's mmap (int-typed, exactly
@@ -154,17 +190,63 @@ class SnapshotEntry:
         return len(self._row_refs)
 
 
+@dataclass(frozen=True, slots=True)
+class StarFreeEntry:
+    """One pattern's persisted star-free multi-matcher tables (``SFTB``).
+
+    ``accepts`` maps a position's pre-order number to its 0/1 acceptance
+    verdict; ``decisions`` maps ``(entry_pre, scanned_pre)`` pairs to the
+    0/1/2 dead/advance/retain decision codes of
+    :mod:`repro.matching.star_free`.  Value-range validation happens in
+    :meth:`~repro.matching.star_free.StarFreeMultiMatcher.adopt_tables`,
+    strictly before any mutation.
+    """
+
+    fingerprint: bytes
+    meta: dict
+    accepts: dict[int, int]
+    decisions: dict[tuple[int, int], int]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoEntry:
+    """One pattern's persisted validator acceptance memo (``MEMO``).
+
+    ``entries`` is a sequence of ``(child-name sequence, verdict)``
+    pairs; shape validation happens in
+    :meth:`repro.xml.memo.AcceptanceMemo.adopt`, strictly before any
+    mutation.
+    """
+
+    fingerprint: bytes
+    meta: dict
+    entries: tuple
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+
 @dataclass(slots=True)
 class Snapshot:
     """A validated, mmap-backed snapshot file.
 
     The mmap stays open for the object's lifetime; adopted row views keep
     it (and therefore the shared pages) alive even if the Snapshot object
-    itself is dropped.
+    itself is dropped.  ``section_errors`` records per-section validation
+    failures of a v2 file — the sections that *did* validate are still
+    populated (per-section degradation).
     """
 
     path: str
+    format_version: int = VERSION
     entries: list[SnapshotEntry] = field(default_factory=list)
+    star_free: list[StarFreeEntry] = field(default_factory=list)
+    memos: list[MemoEntry] = field(default_factory=list)
+    #: tags of the sections that validated and parsed completely; the
+    #: API layer counts a load as successful only when this is non-empty
+    sections: list[str] = field(default_factory=list)
+    section_errors: list[tuple[str, SnapshotError]] = field(default_factory=list)
     _mm: mmap.mmap | None = None
     _view: memoryview | None = None
     _pool_spans: list[tuple[int, int]] = field(default_factory=list)
@@ -190,7 +272,7 @@ class Snapshot:
 
 
 class _Reader:
-    """Bounds-checked cursor over the payload bytes."""
+    """Bounds-checked cursor over a payload's bytes."""
 
     __slots__ = ("data", "offset")
 
@@ -220,18 +302,13 @@ def _write_padded(buffer: io.BytesIO, chunk: bytes) -> None:
     buffer.write(b"\x00" * ((-(4 + len(chunk))) % 4))
 
 
-def write(path: str | os.PathLike, entries: Iterable[dict]) -> dict:
-    """Atomically write a snapshot file; returns ``{patterns, rows, pool_rows, bytes}``.
+# ---------------------------------------------------------------------------
+# section encoders
+# ---------------------------------------------------------------------------
 
-    Each entry is ``{"fingerprint": bytes, "meta": dict, "accepts": bytes,
-    "rows": {state: int-sequence}}`` — the shape
-    :meth:`CompiledRuntime.export_rows` plus the API layer's meta builder
-    produce.  Rows are interned into a file-level pool: structurally equal
-    rows (within or across patterns) are stored once.  The file appears
-    atomically via ``os.replace``, so a reader can never observe a
-    half-written snapshot — at worst a stale complete one.
-    """
-    entries = list(entries)
+
+def _encode_rows(entries: Sequence[dict]) -> tuple[bytes, dict]:
+    """The ``ROWS`` payload (identical to the whole v1 payload) + stats."""
     pool: dict[tuple[int, ...], int] = {}
     pool_rows: list[tuple[int, ...]] = []
     encoded_entries: list[bytes] = []
@@ -268,24 +345,64 @@ def write(path: str | os.PathLike, entries: Iterable[dict]) -> dict:
     payload.write(struct.pack("<I", len(encoded_entries)))
     for body in encoded_entries:
         payload.write(body)
-    payload_bytes = payload.getvalue()
+    stats = {
+        "patterns": len(encoded_entries),
+        "rows": total_rows,
+        "pool_rows": len(pool_rows),
+    }
+    return payload.getvalue(), stats
 
-    header = _HEADER.pack(
-        MAGIC,
-        VERSION,
-        ITEMSIZE,
-        _BYTEORDER_FLAG,
-        len(encoded_entries),
-        zlib.crc32(payload_bytes) & 0xFFFFFFFF,
-        len(payload_bytes),
-    )
+
+def _encode_tables(entries: Sequence[dict]) -> tuple[bytes, dict]:
+    """The ``SFTB`` payload: star-free decision/acceptance tables."""
+    payload = io.BytesIO()
+    payload.write(struct.pack("<I", len(entries)))
+    total_decisions = 0
+    for entry in entries:
+        fingerprint: bytes = entry["fingerprint"]
+        if len(fingerprint) != 32:
+            raise ValueError("fingerprints must be 32-byte SHA-256 digests")
+        payload.write(fingerprint)
+        _write_padded(payload, json.dumps(entry["meta"], sort_keys=True).encode("utf-8"))
+        accepts: Mapping[int, int] = entry["accepts"]
+        payload.write(struct.pack("<I", len(accepts)))
+        for pre in sorted(accepts):
+            payload.write(struct.pack("<II", pre, accepts[pre]))
+        decisions: Mapping[tuple[int, int], int] = entry["decisions"]
+        payload.write(struct.pack("<I", len(decisions)))
+        for entry_pre, scanned_pre in sorted(decisions):
+            payload.write(
+                struct.pack("<III", entry_pre, scanned_pre, decisions[(entry_pre, scanned_pre)])
+            )
+        total_decisions += len(decisions)
+    return payload.getvalue(), {"star_free_patterns": len(entries), "decisions": total_decisions}
+
+
+def _encode_memos(entries: Sequence[dict]) -> tuple[bytes, dict]:
+    """The ``MEMO`` payload: validator acceptance memos (JSON bodies)."""
+    payload = io.BytesIO()
+    payload.write(struct.pack("<I", len(entries)))
+    total = 0
+    for entry in entries:
+        fingerprint: bytes = entry["fingerprint"]
+        if len(fingerprint) != 32:
+            raise ValueError("fingerprints must be 32-byte SHA-256 digests")
+        payload.write(fingerprint)
+        _write_padded(payload, json.dumps(entry["meta"], sort_keys=True).encode("utf-8"))
+        body = [[list(word), bool(verdict)] for word, verdict in entry["entries"]]
+        _write_padded(payload, json.dumps(body, sort_keys=True).encode("utf-8"))
+        total += len(body)
+    return payload.getvalue(), {"memo_patterns": len(entries), "memo_entries": total}
+
+
+def _atomic_write(path: str | os.PathLike, blob: bytes) -> None:
+    """Write *blob* to *path* atomically (temp file + ``os.replace``)."""
     path = os.fspath(path)
     directory = os.path.dirname(os.path.abspath(path))
     fd, temp_path = tempfile.mkstemp(prefix=".snapshot-", dir=directory)
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(header)
-            handle.write(payload_bytes)
+            handle.write(blob)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
@@ -295,74 +412,118 @@ def write(path: str | os.PathLike, entries: Iterable[dict]) -> dict:
         except OSError:
             pass
         raise
-    return {
-        "patterns": len(encoded_entries),
-        "rows": total_rows,
-        "pool_rows": len(pool_rows),
-        "bytes": len(header) + len(payload_bytes),
-    }
 
 
-def load(path: str | os.PathLike) -> Snapshot:
-    """mmap and validate a snapshot file; raises :class:`SnapshotError`.
+def write(
+    path: str | os.PathLike,
+    entries: Iterable[dict],
+    star_free: Iterable[dict] = (),
+    memos: Iterable[dict] = (),
+) -> dict:
+    """Atomically write a format-v2 snapshot file; returns a stats dict.
 
-    Validation order matters for the corruption tests: size/magic/version
-    and the machine-compatibility fields are checked before the checksum,
-    and the checksum before any structural parsing, so every class of
-    corruption maps to one stable ``reason`` tag.
+    *entries* is the dense-row section (``{"fingerprint": bytes, "meta":
+    dict, "accepts": bytes, "rows": {state: int-sequence}}`` — the shape
+    :meth:`CompiledRuntime.export_rows` plus the API layer's meta builder
+    produce).  *star_free* entries carry ``accepts``/``decisions`` table
+    dicts (:meth:`StarFreeMultiMatcher.export_tables`), *memos* carry
+    ``entries`` pairs (:meth:`AcceptanceMemo.export`).  Empty optional
+    sections are omitted from the file.  The file appears atomically via
+    ``os.replace``, so a reader can never observe a half-written
+    snapshot — at worst a stale complete one.
     """
-    path = os.fspath(path)
-    try:
-        handle = open(path, "rb")
-    except OSError as error:
-        raise SnapshotError("missing", f"cannot open snapshot {path!r}: {error}") from None
-    with handle:
-        try:
-            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-        except (ValueError, OSError) as error:  # empty file or mmap failure
-            raise SnapshotError("truncated", f"cannot map snapshot {path!r}: {error}") from None
-    if len(mm) < _HEADER.size:
-        raise SnapshotError("truncated", f"{path!r} is shorter than the snapshot header")
-    magic, version, itemsize, byteorder, count, checksum, payload_length = _HEADER.unpack_from(
-        mm, 0
-    )
-    if magic != MAGIC:
-        raise SnapshotError("magic", f"{path!r} is not a dense-row snapshot")
-    if version != VERSION:
-        raise SnapshotError("version", f"snapshot version {version} (expected {VERSION})")
-    if itemsize != ITEMSIZE:
-        raise SnapshotError("itemsize", f"row itemsize {itemsize} (expected {ITEMSIZE})")
-    if byteorder != _BYTEORDER_FLAG:
-        raise SnapshotError("byte-order", "snapshot was written on a different-endian machine")
-    if _HEADER.size + payload_length != len(mm):
-        raise SnapshotError(
-            "truncated",
-            f"payload length {payload_length} does not match file size {len(mm)}",
-        )
-    view = memoryview(mm)
-    payload = view[_HEADER.size :]
-    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
-        raise SnapshotError("checksum", f"CRC mismatch in {path!r}")
+    rows_payload, stats = _encode_rows(list(entries))
+    sections: list[tuple[bytes, bytes]] = [(SECTION_ROWS, rows_payload)]
+    star_free = list(star_free)
+    if star_free:
+        payload, table_stats = _encode_tables(star_free)
+        sections.append((SECTION_TABLES, payload))
+        stats.update(table_stats)
+    else:
+        stats.update({"star_free_patterns": 0, "decisions": 0})
+    memos = list(memos)
+    if memos:
+        payload, memo_stats = _encode_memos(memos)
+        sections.append((SECTION_MEMOS, payload))
+        stats.update(memo_stats)
+    else:
+        stats.update({"memo_patterns": 0, "memo_entries": 0})
 
-    snapshot = Snapshot(path=path)
-    snapshot._mm = mm
-    snapshot._view = payload
-    reader = _Reader(payload)
+    directory = io.BytesIO()
+    offset = _HEADER_V2.size + len(sections) * _SECTION.size
+    for tag, payload in sections:
+        directory.write(
+            _SECTION.pack(tag, zlib.crc32(payload) & 0xFFFFFFFF, offset, len(payload))
+        )
+        offset += len(payload)
+    directory_bytes = directory.getvalue()
+    header = _HEADER_V2.pack(
+        MAGIC,
+        VERSION,
+        ITEMSIZE,
+        _BYTEORDER_FLAG,
+        len(sections),
+        zlib.crc32(directory_bytes) & 0xFFFFFFFF,
+    )
+    _atomic_write(path, header + directory_bytes + b"".join(p for _, p in sections))
+    stats["sections"] = [tag.decode("ascii") for tag, _ in sections]
+    stats["bytes"] = offset
+    return stats
+
+
+def write_v1(path: str | os.PathLike, entries: Iterable[dict]) -> dict:
+    """Write a version-1 (rows-only) snapshot — the pre-v2 on-disk layout.
+
+    Kept so operators can produce files for fleets still running the v1
+    reader, and so the compatibility tests can pin down that v1 files
+    keep loading (counted as ``format_v1`` in telemetry).
+    """
+    payload_bytes, stats = _encode_rows(list(entries))
+    header = _HEADER_V1.pack(
+        MAGIC,
+        1,
+        ITEMSIZE,
+        _BYTEORDER_FLAG,
+        stats["patterns"],
+        zlib.crc32(payload_bytes) & 0xFFFFFFFF,
+        len(payload_bytes),
+    )
+    _atomic_write(path, header + payload_bytes)
+    stats["bytes"] = len(header) + len(payload_bytes)
+    stats["sections"] = ["ROWS"]
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# section parsers
+# ---------------------------------------------------------------------------
+
+
+def _parse_rows(snapshot: Snapshot, data: memoryview, expected_count: int | None) -> None:
+    """Parse a rows payload into *snapshot* (pool spans index into *data*).
+
+    Parses into locals and publishes onto *snapshot* only after the whole
+    section validated — a failure mid-parse must reject the section as a
+    unit, never leave a half-adopted prefix behind (the per-section
+    degradation contract).
+    """
+    reader = _Reader(data)
     pool_count = reader.u32()
+    pool_spans: list[tuple[int, int]] = []
     for _ in range(pool_count):
         ints = reader.u32()
-        if ints > len(payload) // ITEMSIZE:
+        if ints > len(data) // ITEMSIZE:
             raise SnapshotError("malformed", "pool row longer than the payload")
         start = reader.offset
         reader.take(ints * ITEMSIZE)
-        snapshot._pool_spans.append((start, ints * ITEMSIZE))
+        pool_spans.append((start, ints * ITEMSIZE))
     entry_count = reader.u32()
-    if entry_count != count:
+    if expected_count is not None and entry_count != expected_count:
         raise SnapshotError("malformed", "entry count disagrees with the header")
+    entries: list[SnapshotEntry] = []
     for _ in range(entry_count):
         fingerprint = bytes(reader.take(32))
-        meta_bytes = bytes(reader.take(reader.u32()))
-        reader.pad4()
+        meta = _read_meta(reader)
         accepts = bytes(reader.take(reader.u32()))
         reader.pad4()
         row_count = reader.u32()
@@ -373,13 +534,7 @@ def load(path: str | os.PathLike) -> Snapshot:
             if index >= pool_count:
                 raise SnapshotError("malformed", f"row reference {index} outside the pool")
             refs.append((state, index))
-        try:
-            meta = json.loads(meta_bytes)
-        except ValueError as error:
-            raise SnapshotError("malformed", f"snapshot meta is not JSON: {error}") from None
-        if not isinstance(meta, dict):
-            raise SnapshotError("malformed", "snapshot meta must be a JSON object")
-        snapshot.entries.append(
+        entries.append(
             SnapshotEntry(
                 fingerprint=fingerprint,
                 meta=meta,
@@ -388,4 +543,233 @@ def load(path: str | os.PathLike) -> Snapshot:
                 _snapshot=snapshot,
             )
         )
+    snapshot._view = data
+    snapshot._pool_spans = pool_spans
+    snapshot.entries = entries
+
+
+def _read_meta(reader: _Reader) -> dict:
+    meta_bytes = bytes(reader.take(reader.u32()))
+    reader.pad4()
+    try:
+        meta = json.loads(meta_bytes)
+    except ValueError as error:
+        raise SnapshotError("malformed", f"snapshot meta is not JSON: {error}") from None
+    if not isinstance(meta, dict):
+        raise SnapshotError("malformed", "snapshot meta must be a JSON object")
+    return meta
+
+
+def _parse_tables(data: memoryview) -> list[StarFreeEntry]:
+    reader = _Reader(data)
+    entries: list[StarFreeEntry] = []
+    for _ in range(reader.u32()):
+        fingerprint = bytes(reader.take(32))
+        meta = _read_meta(reader)
+        accepts: dict[int, int] = {}
+        for _ in range(reader.u32()):
+            pre = reader.u32()
+            accepts[pre] = reader.u32()
+        decisions: dict[tuple[int, int], int] = {}
+        for _ in range(reader.u32()):
+            entry_pre = reader.u32()
+            scanned_pre = reader.u32()
+            decisions[(entry_pre, scanned_pre)] = reader.u32()
+        entries.append(
+            StarFreeEntry(
+                fingerprint=fingerprint, meta=meta, accepts=accepts, decisions=decisions
+            )
+        )
+    return entries
+
+
+def _parse_memos(data: memoryview) -> list[MemoEntry]:
+    reader = _Reader(data)
+    entries: list[MemoEntry] = []
+    for _ in range(reader.u32()):
+        fingerprint = bytes(reader.take(32))
+        meta = _read_meta(reader)
+        body_bytes = bytes(reader.take(reader.u32()))
+        reader.pad4()
+        try:
+            body = json.loads(body_bytes)
+        except ValueError as error:
+            raise SnapshotError("malformed", f"memo body is not JSON: {error}") from None
+        if not isinstance(body, list):
+            raise SnapshotError("malformed", "memo body must be a JSON list")
+        entries.append(MemoEntry(fingerprint=fingerprint, meta=meta, entries=tuple(body)))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+
+def _open_mapped(path: str) -> mmap.mmap:
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise SnapshotError("missing", f"cannot open snapshot {path!r}: {error}") from None
+    with handle:
+        try:
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as error:  # empty file or mmap failure
+            raise SnapshotError("truncated", f"cannot map snapshot {path!r}: {error}") from None
+
+
+def load(path: str | os.PathLike) -> Snapshot:
+    """mmap and validate a snapshot file; raises :class:`SnapshotError`.
+
+    Validation order matters for the corruption tests: size/magic/version
+    and the machine-compatibility fields are checked before any checksum,
+    and checksums before structural parsing, so every class of corruption
+    maps to one stable ``reason`` tag.  File-level failures (truncation,
+    bad magic/version, header corruption) raise; in a v2 file a
+    *section* whose own CRC or structure fails is recorded in
+    :attr:`Snapshot.section_errors` while the remaining sections load —
+    per-section degradation is the designed behaviour.
+    """
+    path = os.fspath(path)
+    mm = _open_mapped(path)
+    if len(mm) < 12:  # magic + version + machine-compat bytes
+        raise SnapshotError("truncated", f"{path!r} is shorter than the snapshot header")
+    if bytes(mm[:8]) != MAGIC:
+        raise SnapshotError("magic", f"{path!r} is not a repro snapshot")
+    (version,) = struct.unpack_from("<H", mm, 8)
+    if version == 1:
+        return _load_v1(path, mm)
+    if version != VERSION:
+        raise SnapshotError("version", f"snapshot version {version} (expected <= {VERSION})")
+    return _load_v2(path, mm)
+
+
+def _check_machine(itemsize: int, byteorder: int) -> None:
+    if itemsize != ITEMSIZE:
+        raise SnapshotError("itemsize", f"row itemsize {itemsize} (expected {ITEMSIZE})")
+    if byteorder != _BYTEORDER_FLAG:
+        raise SnapshotError("byte-order", "snapshot was written on a different-endian machine")
+
+
+def _load_v1(path: str, mm: mmap.mmap) -> Snapshot:
+    if len(mm) < _HEADER_V1.size:
+        raise SnapshotError("truncated", f"{path!r} is shorter than the v1 snapshot header")
+    _magic, _version, itemsize, byteorder, count, checksum, payload_length = _HEADER_V1.unpack_from(
+        mm, 0
+    )
+    _check_machine(itemsize, byteorder)
+    if _HEADER_V1.size + payload_length != len(mm):
+        raise SnapshotError(
+            "truncated",
+            f"payload length {payload_length} does not match file size {len(mm)}",
+        )
+    view = memoryview(mm)
+    payload = view[_HEADER_V1.size :]
+    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+        raise SnapshotError("checksum", f"CRC mismatch in {path!r}")
+    snapshot = Snapshot(path=path, format_version=1)
+    snapshot._mm = mm
+    _parse_rows(snapshot, payload, expected_count=count)
+    snapshot.sections.append("ROWS")
     return snapshot
+
+
+def _load_v2(path: str, mm: mmap.mmap) -> Snapshot:
+    if len(mm) < _HEADER_V2.size:
+        raise SnapshotError("truncated", f"{path!r} is shorter than the v2 snapshot header")
+    _magic, _version, itemsize, byteorder, section_count, directory_crc = _HEADER_V2.unpack_from(
+        mm, 0
+    )
+    _check_machine(itemsize, byteorder)
+    if section_count > MAX_SECTIONS:
+        raise SnapshotError("malformed", f"implausible section count {section_count}")
+    directory_end = _HEADER_V2.size + section_count * _SECTION.size
+    if len(mm) < directory_end:
+        raise SnapshotError("truncated", f"{path!r} ends inside the section directory")
+    view = memoryview(mm)
+    directory_bytes = view[_HEADER_V2.size : directory_end]
+    if zlib.crc32(directory_bytes) & 0xFFFFFFFF != directory_crc:
+        raise SnapshotError("checksum", f"directory CRC mismatch in {path!r}")
+    sections: list[tuple[bytes, int, int, int]] = []
+    total = 0
+    for index in range(section_count):
+        tag, crc, offset, length = _SECTION.unpack_from(directory_bytes, index * _SECTION.size)
+        if offset < directory_end or offset + length > len(mm):
+            raise SnapshotError("truncated", f"section {tag!r} extends past the file")
+        sections.append((tag, crc, offset, length))
+        total += length
+    if directory_end + total != len(mm):
+        raise SnapshotError(
+            "truncated", f"sections cover {total} bytes but the file has {len(mm) - directory_end}"
+        )
+
+    snapshot = Snapshot(path=path, format_version=VERSION)
+    snapshot._mm = mm
+    seen: set[bytes] = set()
+    for tag, crc, offset, length in sections:
+        data = view[offset : offset + length]
+        try:
+            if tag in seen:
+                raise SnapshotError("malformed", f"duplicate section {tag!r}")
+            seen.add(tag)
+            if zlib.crc32(data) & 0xFFFFFFFF != crc:
+                raise SnapshotError("checksum", f"CRC mismatch in section {tag!r}")
+            if tag == SECTION_ROWS:
+                _parse_rows(snapshot, data, expected_count=None)
+            elif tag == SECTION_TABLES:
+                snapshot.star_free = _parse_tables(data)
+            elif tag == SECTION_MEMOS:
+                snapshot.memos = _parse_memos(data)
+            else:
+                # Unknown tags are skipped: a newer writer may add
+                # sections this reader does not understand yet.
+                continue
+            snapshot.sections.append(tag.decode("ascii"))
+        except SnapshotError as error:
+            snapshot.section_errors.append((tag.decode("ascii", "replace"), error))
+    return snapshot
+
+
+def describe_file(path: str | os.PathLike) -> dict:
+    """Header/directory summary of a snapshot file (no payload parsing).
+
+    Returns ``{"format": version, "bytes": size, "sections": [{"tag",
+    "offset", "length"}, ...]}``.  Used by the section-targeting
+    corruption tests and handy for operators inspecting a live
+    snapshot; raises :class:`SnapshotError` on files too damaged to
+    carry a directory.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        # Only the header and directory are needed — never the payload,
+        # which for a fleet snapshot can run to hundreds of megabytes.
+        size = os.fstat(handle.fileno()).st_size
+        head = handle.read(max(_HEADER_V1.size, _HEADER_V2.size))
+        if len(head) < 12 or head[:8] != MAGIC:
+            raise SnapshotError("magic", f"{path!r} is not a repro snapshot")
+        (version,) = struct.unpack_from("<H", head, 8)
+        if version == 1:
+            if len(head) < _HEADER_V1.size:
+                raise SnapshotError("truncated", f"{path!r} is shorter than the v1 header")
+            payload_length = _HEADER_V1.unpack_from(head, 0)[6]
+            return {
+                "format": 1,
+                "bytes": size,
+                "sections": [
+                    {"tag": "ROWS", "offset": _HEADER_V1.size, "length": payload_length}
+                ],
+            }
+        if len(head) < _HEADER_V2.size:
+            raise SnapshotError("truncated", f"{path!r} is shorter than the v2 header")
+        section_count = _HEADER_V2.unpack_from(head, 0)[4]
+        handle.seek(_HEADER_V2.size)
+        directory = handle.read(section_count * _SECTION.size)
+        if len(directory) < section_count * _SECTION.size:
+            raise SnapshotError("truncated", f"{path!r} ends inside the section directory")
+    sections = []
+    for index in range(section_count):
+        tag, _crc, offset, length = _SECTION.unpack_from(directory, index * _SECTION.size)
+        sections.append(
+            {"tag": tag.decode("ascii", "replace"), "offset": offset, "length": length}
+        )
+    return {"format": version, "bytes": size, "sections": sections}

@@ -31,13 +31,24 @@ experiment E6 — is discussed in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..core.determinism import DeterminismChecker
 from ..core.follow import FollowIndex
 from ..errors import NotDeterministicError
 from ..regex.ast import Regex
 from ..regex.parse_tree import NodeKind, ParseTree, TreeNode, build_parse_tree
+from .snapshot import SnapshotError
+
+#: Decision codes for one ``(waiting entry, scanned position)`` pair —
+#: what happens when the scan examines the entry.  Pure functions of the
+#: parse tree, so they are memoized per pair and can be persisted in the
+#: ``SFTB`` snapshot section (see :meth:`StarFreeMultiMatcher.export_tables`).
+DECISION_DEAD = 0
+DECISION_ADVANCE = 1
+DECISION_RETAIN = 2
+
+_DECISIONS = (DECISION_DEAD, DECISION_ADVANCE, DECISION_RETAIN)
 
 
 class _WaitingEntry:
@@ -70,6 +81,19 @@ class StarFreeMultiMatcher:
                 )
         #: number of entries examined during the last match_all call (instrumentation)
         self.examined_entries = 0
+        #: memoized ``(entry_pre, scanned_pre) → decision`` table.  The
+        #: decision is a pure function of the parse tree, so concurrent
+        #: writers racing on one key store the same value — dict stores
+        #: are atomic under the GIL, hence no lock on the hot path.
+        self._decisions: dict[tuple[int, int], int] = {}
+        #: memoized ``position_pre → 0/1`` acceptance table (same contract).
+        self._accepts_memo: dict[int, int] = {}
+        #: largest pre-order number any node of this tree carries; the
+        #: bound :meth:`adopt_tables` validates persisted keys against.
+        self._pre_limit = max(node.pre for node in self.tree.nodes)
+        #: entries installed from a persisted snapshot (telemetry).
+        self._adopted_decisions = 0
+        self._adopted_accepts = 0
 
     # ------------------------------------------------------------------------------
     def match_all(self, words: Sequence[Sequence[str]]) -> list[bool]:
@@ -98,6 +122,7 @@ class StarFreeMultiMatcher:
         follow = self.follow
         tree = self.tree
         symbol_codes = tree.alphabet.codes
+        decisions = self._decisions
         results = [False] * len(words)
         # Index of the next symbol each word expects.
         cursors = [0] * len(words)
@@ -108,7 +133,7 @@ class StarFreeMultiMatcher:
         self.examined_entries = 0
 
         start = tree.start
-        empty_accepts = follow.accepts_at(start)
+        empty_accepts = self._accepts_at(start)
         initial: dict[int, list[int]] = {}
         for word_id, word in enumerate(words):
             if len(word) == 0:
@@ -125,6 +150,7 @@ class StarFreeMultiMatcher:
             boundary = scanned.p_sup_first.parent if scanned.p_sup_first is not None else None
             if boundary is None:
                 continue
+            scanned_pre = scanned.pre
             advanced: list[int] = []
             retained: list[_WaitingEntry] = []
             # Entries whose position lies inside the subtree of `boundary` form
@@ -132,15 +158,22 @@ class StarFreeMultiMatcher:
             while stack and stack[-1].position.pre >= boundary.pre:
                 entry = stack.pop()
                 self.examined_entries += 1
-                if follow.follows_via_concat(entry.position, scanned):
+                key = (entry.position.pre, scanned_pre)
+                decision = decisions.get(key)
+                if decision is None:
+                    if follow.follows_via_concat(entry.position, scanned):
+                        decision = DECISION_ADVANCE
+                    elif follow.lca(entry.position, scanned).kind is NodeKind.CONCAT:
+                        # Not in Last(Lchild(meeting)): no later position can
+                        # follow this entry either — dead, simply dropped.
+                        decision = DECISION_DEAD
+                    else:
+                        decision = DECISION_RETAIN
+                    decisions[key] = decision
+                if decision == DECISION_ADVANCE:
                     advanced.extend(entry.word_ids)
-                    continue
-                meeting = follow.lca(entry.position, scanned)
-                if meeting.kind is NodeKind.CONCAT:
-                    # Not in Last(Lchild(meeting)): no later position can follow
-                    # this entry either — it is dead and simply dropped.
-                    continue
-                retained.append(entry)
+                elif decision == DECISION_RETAIN:
+                    retained.append(entry)
             # Retained entries keep their original (pre-order) relative order.
             stack.extend(reversed(retained))
 
@@ -162,9 +195,98 @@ class StarFreeMultiMatcher:
 
         for word_id, stopped_at in enumerate(finished_at):
             if stopped_at is not None:
-                results[word_id] = follow.accepts_at(stopped_at)
+                results[word_id] = self._accepts_at(stopped_at)
         return results
+
+    def _accepts_at(self, position: TreeNode) -> bool:
+        """Memoized ``$ ∈ Follow(position)`` (persisted in the SFTB tables)."""
+        verdict = self._accepts_memo.get(position.pre)
+        if verdict is None:
+            verdict = 1 if self.follow.accepts_at(position) else 0
+            self._accepts_memo[position.pre] = verdict
+        return verdict == 1
 
     def accepts(self, word: Sequence[str]) -> bool:
         """Single-word convenience wrapper around :meth:`match_all`."""
         return self.match_all([list(word)])[0]
+
+    # -- snapshot export / adoption -----------------------------------------------------
+    def export_tables(self) -> dict:
+        """Exportable view of the memoized tables (for snapshots).
+
+        Returns ``{"accepts": {position_pre: 0/1}, "decisions":
+        {(entry_pre, scanned_pre): code}, "pre_limit": int}`` — the shape
+        :func:`repro.matching.snapshot.write` persists in the ``SFTB``
+        section.  Mirrors the compiled runtime's
+        :meth:`~repro.matching.runtime.CompiledRuntime.export_rows` row
+        contract: everything exported was either computed locally from
+        the parse tree or adopted from a fingerprint-matched snapshot,
+        so re-exporting an adopted matcher is a fixpoint.
+        """
+        return {
+            "accepts": dict(self._accepts_memo),
+            "decisions": dict(self._decisions),
+            "pre_limit": self._pre_limit,
+        }
+
+    def adopt_tables(
+        self,
+        accepts: Mapping[int, int],
+        decisions: Mapping[tuple[int, int], int],
+    ) -> int:
+        """Install persisted tables into this matcher; returns entries adopted.
+
+        Validation is strict and happens *before* any mutation (the
+        :meth:`CompiledRuntime.adopt_rows` contract), so a rejected
+        snapshot leaves the matcher exactly as it was: every pre-order
+        key must fall inside this tree's numbering and every value must
+        be a known decision/verdict code.  A violation raises
+        :class:`~repro.matching.snapshot.SnapshotError` — the API layer
+        counts it as ``snapshot_rejected`` and carries on with the lazy
+        computation.  Entries are installed only for keys this matcher
+        has not computed locally; local results always win.
+        """
+        limit = self._pre_limit
+        for pre, verdict in accepts.items():
+            if not (isinstance(pre, int) and 0 <= pre <= limit):
+                raise SnapshotError(
+                    "table-bounds", f"acceptance key {pre!r} outside pre-order range 0..{limit}"
+                )
+            if verdict not in (0, 1):
+                raise SnapshotError("malformed", f"invalid acceptance verdict {verdict!r}")
+        for key, decision in decisions.items():
+            try:
+                entry_pre, scanned_pre = key
+            except (TypeError, ValueError):
+                raise SnapshotError("malformed", f"invalid decision key {key!r}") from None
+            for pre in (entry_pre, scanned_pre):
+                if not (isinstance(pre, int) and 0 <= pre <= limit):
+                    raise SnapshotError(
+                        "table-bounds",
+                        f"decision key {key!r} outside pre-order range 0..{limit}",
+                    )
+            if decision not in _DECISIONS:
+                raise SnapshotError("malformed", f"invalid decision code {decision!r}")
+        adopted = 0
+        accepts_memo = self._accepts_memo
+        for pre, verdict in accepts.items():
+            if pre not in accepts_memo:
+                accepts_memo[pre] = verdict
+                adopted += 1
+                self._adopted_accepts += 1
+        decision_memo = self._decisions
+        for key, decision in decisions.items():
+            if key not in decision_memo:
+                decision_memo[key] = decision
+                adopted += 1
+                self._adopted_decisions += 1
+        return adopted
+
+    def table_stats(self) -> dict[str, int]:
+        """How much of the decision/acceptance tables is materialized."""
+        return {
+            "decisions": len(self._decisions),
+            "accepts": len(self._accepts_memo),
+            "adopted_decisions": self._adopted_decisions,
+            "adopted_accepts": self._adopted_accepts,
+        }

@@ -24,24 +24,29 @@ Two entry points:
   through the interned alphabet, and a :meth:`~ValidationService.stats`
   snapshot aggregating every telemetry surface the library exposes;
 * :mod:`repro.service.http` — a stdlib-only HTTP front end
-  (``python -m repro.service``) with ``POST /match``, ``POST /validate``
-  and ``GET /stats``;
+  (``python -m repro.service``) with ``POST /match``, ``POST /validate``,
+  ``GET /stats`` and ``GET /snapshot`` (the fleet-bootstrap stream);
 * :mod:`repro.service.prefork` — the multi-process front
-  (``--processes N``): the parent preloads a dense-row snapshot
-  (``docs/snapshot.md``), forks N shared-nothing workers that accept on
-  one inherited socket, and aggregates fleet stats through a
-  shared-memory :class:`~repro.service.prefork.StatsBoard` merged into
-  ``GET /stats``.
+  (``--processes N``): the parent preloads a warm-state snapshot
+  (``docs/snapshot.md`` — a file, or a running fleet's ``/snapshot``
+  URL), forks N shared-nothing workers that accept on one inherited
+  socket, aggregates fleet stats through a shared-memory
+  :class:`~repro.service.prefork.StatsBoard` merged into ``GET /stats``,
+  and keeps the on-disk snapshot fresh with a background
+  :class:`~repro.service.prefork.SnapshotRefresher`
+  (``--snapshot-save``).
 
 See ``docs/service.md`` for endpoint shapes and deployment notes.
 """
 
 from .core import DocumentVerdict, ValidationService
 from .http import ServiceHTTPServer, serve
+from .prefork import SnapshotRefresher
 
 __all__ = [
     "DocumentVerdict",
     "ServiceHTTPServer",
+    "SnapshotRefresher",
     "ValidationService",
     "serve",
 ]

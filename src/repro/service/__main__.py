@@ -1,11 +1,20 @@
 """``python -m repro.service`` — boot the HTTP validation service.
 
 Single-process by default; ``--processes N`` switches to the prefork
-front (N shared-nothing worker processes accepting on one socket), and
-``--snapshot PATH`` preloads a dense-row snapshot before any traffic —
-in prefork mode the parent loads it once and every forked worker shares
-the mmap'd rows copy-on-write.  See ``docs/service.md`` and
-``docs/snapshot.md``.
+front (N shared-nothing worker processes accepting on one socket).  The
+snapshot lifecycle (``docs/snapshot.md``):
+
+* ``--snapshot PATH`` preloads a warm-state snapshot before any traffic
+  (in prefork mode the parent loads it once and every forked worker
+  shares the mmap'd pages copy-on-write);
+* ``--snapshot-url URL`` bootstraps the same way from a *running
+  fleet*'s ``GET /snapshot`` endpoint instead of a local file;
+* ``--snapshot-save PATH`` turns on the live lifecycle: a background
+  refresher atomically re-persists PATH as materialization grows
+  (``--snapshot-refresh`` seconds between checks), and ``GET /snapshot``
+  streams the current file to bootstrapping hosts.
+
+See ``docs/service.md`` and ``docs/snapshot.md``.
 """
 
 from __future__ import annotations
@@ -16,13 +25,20 @@ import os
 from .. import api
 from .core import DEFAULT_WORKERS
 from .http import DEFAULT_HOST, DEFAULT_PORT, serve
+from .prefork import (
+    REFRESH_INTERVAL,
+    REFRESH_MIN_GROWTH,
+    SnapshotRefresher,
+    describe_preload,
+    snapshot_source_for,
+)
 
 
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
         description="HTTP validation service for deterministic regular expressions "
-        "(POST /match, POST /validate, GET /stats).",
+        "(POST /match, POST /validate, GET /stats, GET /snapshot).",
     )
     parser.add_argument(
         "--host", default=DEFAULT_HOST, help=f"bind address (default {DEFAULT_HOST})"
@@ -49,9 +65,41 @@ def main(argv: list[str] | None = None) -> None:
         "--snapshot",
         default=None,
         metavar="PATH",
-        help="dense-row snapshot to preload before serving (see docs/snapshot.md)",
+        help="warm-state snapshot to preload before serving (see docs/snapshot.md)",
+    )
+    parser.add_argument(
+        "--snapshot-url",
+        default=None,
+        metavar="URL",
+        help="bootstrap from a running fleet: fetch and preload GET /snapshot "
+        "from this base URL (e.g. http://host:port/snapshot)",
+    )
+    parser.add_argument(
+        "--snapshot-save",
+        default=None,
+        metavar="PATH",
+        help="live snapshot lifecycle: auto-refresh this file as materialization "
+        "grows and stream it over GET /snapshot",
+    )
+    parser.add_argument(
+        "--snapshot-refresh",
+        type=float,
+        default=REFRESH_INTERVAL,
+        metavar="SECONDS",
+        help=f"seconds between snapshot auto-refresh checks (default {REFRESH_INTERVAL:g})",
+    )
+    parser.add_argument(
+        "--snapshot-refresh-growth",
+        type=int,
+        default=REFRESH_MIN_GROWTH,
+        metavar="N",
+        help="materialization growth (memoized transitions + table/memo entries) "
+        f"required before the snapshot is rewritten (default {REFRESH_MIN_GROWTH})",
     )
     arguments = parser.parse_args(argv)
+    preload = arguments.snapshot or arguments.snapshot_url
+    if arguments.snapshot and arguments.snapshot_url:
+        parser.error("--snapshot and --snapshot-url are mutually exclusive")
     if arguments.processes > 1 and hasattr(os, "fork"):
         from .prefork import serve_prefork
 
@@ -60,19 +108,33 @@ def main(argv: list[str] | None = None) -> None:
             port=arguments.port,
             processes=arguments.processes,
             workers=arguments.workers,
-            snapshot_path=arguments.snapshot,
+            snapshot_path=preload,
+            snapshot_save=arguments.snapshot_save,
+            refresh_interval=arguments.snapshot_refresh,
+            refresh_min_growth=arguments.snapshot_refresh_growth,
         )
         return
     if arguments.processes > 1:
         print("os.fork is unavailable on this platform; serving single-process", flush=True)
-    if arguments.snapshot:
-        report = api.load_snapshot(arguments.snapshot)
-        print(
-            f"snapshot {arguments.snapshot}: {report['patterns_loaded']} patterns / "
-            f"{report['rows_loaded']} rows preloaded, {report['rejected']} rejected",
-            flush=True,
+    if preload:
+        print(describe_preload(preload, api.load_snapshot(preload)), flush=True)
+    refresher = (
+        SnapshotRefresher(
+            arguments.snapshot_save,
+            interval=arguments.snapshot_refresh,
+            min_growth=arguments.snapshot_refresh_growth,
         )
-    serve(host=arguments.host, port=arguments.port, workers=arguments.workers)
+        if arguments.snapshot_save
+        else None
+    )
+    snapshot_source = snapshot_source_for(arguments.snapshot_save, arguments.snapshot)
+    serve(
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        snapshot_source=snapshot_source,
+        refresher=refresher,
+    )
 
 
 if __name__ == "__main__":

@@ -109,6 +109,18 @@ class ValidationService:
         self._closed = True
         self._pool.shutdown(wait=True)
 
+    def _ensure_open(self) -> None:
+        """Raise a clear error instead of the executor's opaque shutdown one.
+
+        Every public entry point checks this first: submitting to a shut
+        pool raises ``RuntimeError("cannot schedule new futures after
+        shutdown")`` from deep inside ``concurrent.futures`` — or, for a
+        corpus small enough to run inline, silently *succeeds* — neither
+        of which tells the caller what actually happened.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+
     def __enter__(self) -> "ValidationService":
         return self
 
@@ -151,8 +163,16 @@ class ValidationService:
             for low in range(0, len(items), chunk)
         ]
         results: list = []
-        for future in futures:
-            results.extend(future.result())
+        try:
+            for future in futures:
+                results.extend(future.result())
+        except BaseException:
+            # One poisoned chunk must not keep burning the pool: cancel
+            # everything still queued (running chunks finish; their
+            # results are discarded with the request).
+            for pending in futures:
+                pending.cancel()
+            raise
         return results
 
     # -- batch matching -----------------------------------------------------------------
@@ -173,6 +193,7 @@ class ValidationService:
         run inline: below :data:`MIN_CHUNK` words the pool handoff would
         dominate the matching itself.
         """
+        self._ensure_open()
         with self._request():
             pattern = api.compile(expr, dialect=dialect)
             self._remember_pattern(pattern, dialect)
@@ -195,6 +216,7 @@ class ValidationService:
         document costs pure transition replay.  DTD verdicts carry the
         violation messages, XSD verdicts the boolean outcome.
         """
+        self._ensure_open()
         with self._request():
             validator = DTDValidator(schema) if isinstance(schema, DTD) else schema
 
@@ -215,6 +237,7 @@ class ValidationService:
         own documents instead of the caller parsing the whole corpus
         serially before any validation starts.
         """
+        self._ensure_open()
         with self._request():
             validator = DTDValidator(schema) if isinstance(schema, DTD) else schema
 

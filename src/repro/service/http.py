@@ -22,7 +22,16 @@ Endpoints (JSON in, JSON out; shapes documented in ``docs/service.md``):
 ``GET /stats``
     The service's consistent telemetry snapshot (request counters with
     p50/p99, compile-cache stats, per-pattern runtime stats, per-schema
-    validator stats, shared dense-row count).
+    validator stats, shared dense-row count, snapshot telemetry).
+
+``GET /snapshot``
+    Streams the server's current warm-state snapshot file (format v2,
+    ``docs/snapshot.md``) as ``application/octet-stream``, so a fresh
+    host can bootstrap from a running fleet:
+    ``repro.load_snapshot("http://host:port/snapshot")`` or
+    ``python -m repro.service --snapshot-url ...``.  404 until the
+    server has a snapshot to serve (``--snapshot-save`` once the
+    refresher has persisted, or the ``--snapshot`` file it booted from).
 
 ``GET /healthz``
     Liveness probe: ``{"status": "ok"}``.
@@ -31,6 +40,8 @@ Endpoints (JSON in, JSON out; shapes documented in ``docs/service.md``):
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..errors import NotDeterministicError, ReproError
@@ -53,10 +64,19 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: ValidationService | None = None):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ValidationService | None = None,
+        snapshot_source: str | None = None,
+    ):
         super().__init__(address, ServiceRequestHandler)
         self.service = service if service is not None else ValidationService()
         self._owns_service = service is None
+        #: path of the snapshot file ``GET /snapshot`` streams (the live
+        #: ``--snapshot-save`` file, falling back to the file the server
+        #: booted from); ``None`` disables the endpoint (404).
+        self.snapshot_source = snapshot_source
 
     def server_close(self) -> None:  # noqa: D102 - stdlib override
         super().server_close()
@@ -134,10 +154,37 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         if self.path == "/stats":
             self._send_json(200, self.server.stats_payload())
+        elif self.path == "/snapshot":
+            self._send_snapshot()
         elif self.path in ("/", "/healthz"):
             self._send_json(200, {"status": "ok", "service": "repro"})
         else:
             self._send_error_json(404, f"no such endpoint: {self.path}")
+
+    def _send_snapshot(self) -> None:
+        """Stream the current snapshot file (the fleet-bootstrap endpoint).
+
+        The file is written atomically (temp + ``os.replace``), so the
+        handle opened here always streams one *complete* snapshot — a
+        concurrent refresh replaces the directory entry but never the
+        bytes under an open descriptor.
+        """
+        source = getattr(self.server, "snapshot_source", None)
+        if not source:
+            self._send_error_json(404, "this server does not serve a snapshot")
+            return
+        try:
+            handle = open(source, "rb")
+        except OSError:
+            self._send_error_json(404, "no snapshot has been persisted yet")
+            return
+        with handle:
+            size = os.fstat(handle.fileno()).st_size
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(size))
+            self.end_headers()
+            shutil.copyfileobj(handle, self.wfile, 64 * 1024)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         handler = {"/match": self._handle_match, "/validate": self._handle_validate}.get(self.path)
@@ -169,6 +216,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(words, list):
             self._send_error_json(400, 'a list "words" field is required')
             return
+        # Reject malformed entries up front with a clean 400: left to the
+        # worker pool, a non-string word surfaces as a repr'd TypeError
+        # after a wasted (chunked) fan-out.
+        for word in words:
+            if isinstance(word, str):
+                continue
+            if isinstance(word, list) and all(isinstance(symbol, str) for symbol in word):
+                continue
+            self._send_error_json(
+                400, '"words" entries must be strings or lists of symbol strings'
+            )
+            return
         dialect = payload.get("dialect", "paper")
         from .. import api
 
@@ -194,6 +253,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(documents, list):
             self._send_error_json(400, 'a list "documents" field (XML text) is required')
             return
+        # The documents list must be fully validated *before* any schema
+        # is built: validator_for_dtd/schema_for_payload memoize into the
+        # MEMO_SIZE-bounded LRU, so a malformed request that got this far
+        # could evict a warm validator another client is relying on.
+        if not all(isinstance(text, str) for text in documents):
+            self._send_error_json(400, '"documents" must be a list of XML strings')
+            return
         dtd_text = payload.get("dtd")
         xsd_data = payload.get("xsd")
         if (dtd_text is None) == (xsd_data is None):
@@ -218,9 +284,6 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
                 return
             kind = "xsd"
-        if not all(isinstance(text, str) for text in documents):
-            self._send_error_json(400, '"documents" must be a list of XML strings')
-            return
         # Parsing happens inside the worker fan-out, chunk by chunk — for
         # large corpora it is the dominant per-document cost and must not
         # run serially on this handler thread.
@@ -239,16 +302,26 @@ def serve(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     workers: int = DEFAULT_WORKERS,
+    snapshot_source: str | None = None,
+    refresher=None,
 ) -> None:
-    """Run the service until interrupted (the ``python -m repro.service`` body)."""
+    """Run the service until interrupted (the ``python -m repro.service`` body).
+
+    *snapshot_source* enables ``GET /snapshot`` (streaming that file);
+    *refresher* is an optional started/stopped object (a
+    :class:`~repro.service.prefork.SnapshotRefresher`) re-persisting the
+    snapshot in the background while the server runs.
+    """
     service = ValidationService(workers=workers)
-    server = ServiceHTTPServer((host, port), service)
+    server = ServiceHTTPServer((host, port), service, snapshot_source=snapshot_source)
     bound_host, bound_port = server.server_address[:2]
+    if refresher is not None:
+        refresher.start()
     # flush so a supervisor (or the CI smoke step) redirecting stdout can
     # read the ephemeral port back before the first request arrives
     print(
         f"repro.service listening on http://{bound_host}:{bound_port} "
-        f"({workers} workers) — POST /match, POST /validate, GET /stats",
+        f"({workers} workers) — POST /match, POST /validate, GET /stats, GET /snapshot",
         flush=True,
     )
     try:
@@ -256,5 +329,7 @@ def serve(
     except KeyboardInterrupt:
         pass
     finally:
+        if refresher is not None:
+            refresher.stop()
         server.server_close()
         service.close()

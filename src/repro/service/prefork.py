@@ -20,11 +20,18 @@ way, arranged so the PR-4 snapshot work pays off fleet-wide:
 4. each worker periodically publishes a request summary into its
    :class:`StatsBoard` slot; whichever worker answers ``GET /stats``
    merges the whole fleet into a ``"cluster"`` section, so one request
-   shows aggregate traffic plus the per-process split.
+   shows aggregate traffic plus the per-process split;
+5. with ``--snapshot-save`` each worker additionally runs a
+   :class:`SnapshotRefresher`: a background thread that atomically
+   re-persists the snapshot whenever the materialization gauge
+   (``repro.snapshot_stats()["materialized"]``) grows past a threshold,
+   so ``GET /snapshot`` always streams a recent complete file and a new
+   host can bootstrap from the running fleet (``--snapshot-url``).
 
-Entry point: ``python -m repro.service --processes N [--snapshot PATH]``.
-Fork is POSIX-only; on platforms without ``os.fork`` the CLI falls back
-to the single-process server with a warning.
+Entry point: ``python -m repro.service --processes N [--snapshot PATH]
+[--snapshot-save PATH]``.  Fork is POSIX-only; on platforms without
+``os.fork`` the CLI falls back to the single-process server with a
+warning.
 """
 
 from __future__ import annotations
@@ -62,6 +69,102 @@ STALE_AFTER = 10 * PUBLISH_INTERVAL
 #: the supervisor must not turn a deterministic boot failure into a fork
 #: bomb.
 MAX_RESTARTS_PER_SLOT = 5
+
+#: Seconds between the snapshot refresher's materialization checks.
+REFRESH_INTERVAL = 30.0
+
+#: Materialization growth (``snapshot_stats()["materialized"]["total"]``
+#: delta) below which the refresher leaves the on-disk snapshot alone —
+#: a handful of new transitions is not worth an fsync'd rewrite.
+REFRESH_MIN_GROWTH = 64
+
+
+class SnapshotRefresher:
+    """Background thread keeping an on-disk snapshot fresh as traffic warms.
+
+    Every *interval* seconds it reads the live materialization gauge
+    (``repro.snapshot_stats()["materialized"]["total"]``: memoized
+    lazy-DFA transitions + star-free table entries + validator memo
+    entries) and, when the level has grown by at least *min_growth*
+    since the last persist, atomically rewrites *path* via
+    :func:`repro.save_snapshot` — so ``GET /snapshot`` and the next
+    process boot always see a recent complete file, never a torn one.
+
+    Used by the single-process server and by every prefork worker (the
+    write is atomic, so concurrent workers racing on one path leave the
+    last complete snapshot — still valid, merely one worker's view).
+    Start/stop are idempotent; a failed save is recorded and retried at
+    the next tick.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval: float = REFRESH_INTERVAL,
+        min_growth: int = REFRESH_MIN_GROWTH,
+    ):
+        self.path = path
+        self.interval = interval
+        self.min_growth = max(1, min_growth)
+        self.saves = 0
+        self.last_report: dict | None = None
+        self.last_error: str | None = None
+        self._persisted_level = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()  # a stopped refresher may be started again
+        # The baseline is deliberately zero, not the current in-memory
+        # level: state preloaded from elsewhere (a --snapshot file, a
+        # fleet's /snapshot URL) still counts as growth, so a freshly
+        # bootstrapped host persists its own copy on the first tick and
+        # can immediately serve GET /snapshot itself.  Worst case is one
+        # redundant (atomic) rewrite per boot.
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="snapshot-refresher"
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.maybe_save()
+
+    def maybe_save(self) -> dict | None:
+        """One refresh tick: persist if materialization grew enough.
+
+        Returns the save report when a snapshot was written, else
+        ``None``.  Exposed for tests and for operators wanting a
+        synchronous flush (e.g. right before shutdown).
+        """
+        level = api.snapshot_stats()["materialized"]["total"]
+        if level - self._persisted_level < self.min_growth:
+            return None
+        try:
+            report = api.save_snapshot(self.path)
+        except Exception as error:  # noqa: BLE001 - disk full, encoding bug, ...
+            # Whatever failed, the contract holds: record it and retry at
+            # the next tick — a dead refresher thread would silently serve
+            # an ever-staler GET /snapshot with no telemetry signal.
+            self.last_error = str(error)
+            return None
+        # Re-read after the save: a complete export densifies rows and
+        # resolves acceptance verdicts, growing the gauge as a side
+        # effect — that state is *in* the snapshot, so it is persisted.
+        self._persisted_level = api.snapshot_stats()["materialized"]["total"]
+        self.saves += 1
+        self.last_report = report
+        self.last_error = None
+        return report
 
 
 class StatsBoard:
@@ -132,6 +235,32 @@ class StatsBoard:
         return entries
 
 
+def describe_preload(source: str, report: dict) -> str:
+    """One line summarising a snapshot preload (shared by both fronts)."""
+    return (
+        f"snapshot {source}: {report['patterns_loaded']} patterns / "
+        f"{report['rows_loaded']} rows, {report['tables_loaded']} star-free tables, "
+        f"{report['memo_entries_loaded']} memo entries preloaded, "
+        f"{report['rejected']} rejected"
+    )
+
+
+def snapshot_source_for(snapshot_save: str | None, snapshot_path: str | None) -> str | None:
+    """The local file ``GET /snapshot`` should stream, or ``None``.
+
+    The live ``--snapshot-save`` file wins; otherwise the ``--snapshot``
+    file the server booted from.  A URL is never a source: a
+    URL-bootstrapped host without ``--snapshot-save`` has nothing of its
+    own to serve.  Shared by the single-process and prefork fronts so
+    the policy cannot diverge between them.
+    """
+    if snapshot_save:
+        return snapshot_save
+    if snapshot_path and not snapshot_path.startswith(("http://", "https://")):
+        return snapshot_path
+    return None
+
+
 class PreforkHTTPServer(ServiceHTTPServer):
     """A worker's HTTP server on the socket inherited from the parent.
 
@@ -147,6 +276,7 @@ class PreforkHTTPServer(ServiceHTTPServer):
         board: StatsBoard | None = None,
         slot: int = 0,
         processes: int = 1,
+        snapshot_source: str | None = None,
     ):
         address = listen_socket.getsockname()[:2]
         # Skip bind/activate: the parent already did both on the socket
@@ -161,6 +291,8 @@ class PreforkHTTPServer(ServiceHTTPServer):
         self.board = board
         self.slot = slot
         self.processes = processes
+        #: file ``GET /snapshot`` streams (fleet bootstrap), if any
+        self.snapshot_source = snapshot_source
 
     def server_close(self) -> None:  # noqa: D102 - stdlib override
         # The listening socket belongs to the parent (and to sibling
@@ -217,11 +349,27 @@ def _worker_main(
     slot: int,
     processes: int,
     workers: int,
+    snapshot_source: str | None = None,
+    snapshot_save: str | None = None,
+    refresh_interval: float = REFRESH_INTERVAL,
+    refresh_min_growth: int = REFRESH_MIN_GROWTH,
 ) -> None:
     """Body of one forked worker; never returns (the caller ``_exit``\\ s)."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent coordinates shutdown
     service = ValidationService(workers=workers)
-    server = PreforkHTTPServer(listen_socket, service, board, slot, processes)
+    server = PreforkHTTPServer(
+        listen_socket, service, board, slot, processes, snapshot_source=snapshot_source
+    )
+    refresher: SnapshotRefresher | None = None
+    if snapshot_save:
+        # Stagger the per-worker ticks so the fleet does not fsync the
+        # same path in lockstep; writes are atomic either way.
+        refresher = SnapshotRefresher(
+            snapshot_save,
+            interval=refresh_interval * (1.0 + 0.1 * slot),
+            min_growth=refresh_min_growth,
+        )
+        refresher.start()
     stop = threading.Event()
 
     def _publish_loop() -> None:
@@ -244,6 +392,8 @@ def _worker_main(
         server.serve_forever(poll_interval=0.2)
     finally:
         stop.set()
+        if refresher is not None:
+            refresher.stop()
         server.server_close()
         service.close()
 
@@ -254,8 +404,19 @@ def serve_prefork(
     processes: int = 2,
     workers: int = DEFAULT_WORKERS,
     snapshot_path: str | None = None,
+    snapshot_save: str | None = None,
+    refresh_interval: float = REFRESH_INTERVAL,
+    refresh_min_growth: int = REFRESH_MIN_GROWTH,
 ) -> None:
-    """Run the prefork front until interrupted (``--processes N`` body)."""
+    """Run the prefork front until interrupted (``--processes N`` body).
+
+    *snapshot_path* (a file or an ``http(s)://`` fleet URL) is preloaded
+    in the parent before forking, so every worker shares the adopted
+    pages copy-on-write.  *snapshot_save* turns on the live lifecycle:
+    each worker runs a :class:`SnapshotRefresher` re-persisting that
+    path as its materialization grows, and ``GET /snapshot`` streams it
+    to bootstrapping hosts.
+    """
     if not hasattr(os, "fork"):
         raise RuntimeError("the prefork front requires os.fork (POSIX)")
     if processes < 1:
@@ -266,12 +427,8 @@ def serve_prefork(
     listen.listen(128)
     bound_host, bound_port = listen.getsockname()[:2]
     if snapshot_path:
-        report = api.load_snapshot(snapshot_path)
-        print(
-            f"snapshot {snapshot_path}: {report['patterns_loaded']} patterns / "
-            f"{report['rows_loaded']} rows preloaded, {report['rejected']} rejected",
-            flush=True,
-        )
+        print(describe_preload(snapshot_path, api.load_snapshot(snapshot_path)), flush=True)
+    snapshot_source = snapshot_source_for(snapshot_save, snapshot_path)
     board = StatsBoard(processes)
     print(
         f"repro.service prefork listening on http://{bound_host}:{bound_port} "
@@ -287,7 +444,17 @@ def serve_prefork(
         pid = os.fork()
         if pid == 0:
             try:
-                _worker_main(listen, board, slot, processes, workers)
+                _worker_main(
+                    listen,
+                    board,
+                    slot,
+                    processes,
+                    workers,
+                    snapshot_source=snapshot_source,
+                    snapshot_save=snapshot_save,
+                    refresh_interval=refresh_interval,
+                    refresh_min_growth=refresh_min_growth,
+                )
             finally:
                 os._exit(0)
         pids[pid] = slot

@@ -7,6 +7,7 @@ against its content model.
 """
 
 from .document import Document, Element, element
+from .memo import AcceptanceMemo
 from .dtd import (
     DTD,
     ContentModel,
@@ -28,6 +29,7 @@ from .xsd import (
 )
 
 __all__ = [
+    "AcceptanceMemo",
     "ContentModel",
     "DTD",
     "DTDValidator",

@@ -32,6 +32,7 @@ from ..matching.base import DeterministicMatcher, MatchRun
 from ..matching.runtime import CompiledRun, CompiledRuntime, aggregate_stats
 from .document import Document, Element
 from .dtd import DTD, ContentModel, content_model_expression
+from .memo import AcceptanceMemo
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,12 +70,18 @@ class DTDValidator:
         self.compiled = compiled
         self._matchers: dict[str, DeterministicMatcher | None] = {}
         self._runtimes: dict[str, CompiledRuntime | None] = {}
+        #: per-element acceptance memo (child-sequence → verdict), shared
+        #: through the pattern so every validator of a structurally equal
+        #: content model hits the same warm entries; persisted in the
+        #: ``MEMO`` snapshot section keyed by the pattern's fingerprint.
+        self._memos: dict[str, AcceptanceMemo | None] = {}
         self._models: dict[str, ContentModel] = dict(dtd.elements)
         for name, model in dtd.elements.items():
             expression = content_model_expression(model)
             if expression is None:
                 self._matchers[name] = None
                 self._runtimes[name] = None
+                self._memos[name] = None
                 continue
             # The compile cache applies the right determinism semantics (the
             # counter-aware one when the model uses the DTD '+' operator),
@@ -89,6 +96,7 @@ class DTDValidator:
                 )
             self._matchers[name] = pattern.matcher
             self._runtimes[name] = pattern.runtime if compiled else None
+            self._memos[name] = pattern.acceptance_memo() if compiled else None
 
     # -- document-level API -----------------------------------------------------------------
     def validate(self, document: Document | Element) -> list[Violation]:
@@ -155,6 +163,11 @@ class DTDValidator:
             return not children
         runtime = self._runtimes.get(name)
         if runtime is not None:
+            memo = self._memos.get(name)
+            if memo is not None:
+                # Whole-sequence fast path: repeated child sequences (the
+                # Li et al. workload) are answered by one dict probe.
+                return memo.accepts(runtime, children)
             # Batch-encoded fast path: intern the child names once, then run
             # the memoized integer rows shared across all occurrences.
             return runtime.accepts_encoded(runtime.encode(children))
@@ -171,11 +184,15 @@ class DTDValidator:
         cached patterns, so counters include traffic from every validator
         sharing the same content models through the compile cache.
         """
-        return aggregate_stats(
+        stats = aggregate_stats(
             (name, runtime)
             for name, runtime in self._runtimes.items()
             if runtime is not None
         )
+        stats["memos"] = {
+            name: memo.stats() for name, memo in self._memos.items() if memo is not None
+        }
+        return stats
 
     def checker_for(self, name: str) -> "StreamingContentChecker | None":
         """A streaming checker for the content model of *name* (or ``None``).

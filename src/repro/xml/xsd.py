@@ -47,6 +47,7 @@ from ..errors import InvalidExpressionError
 from ..matching.runtime import CompiledRuntime, aggregate_stats
 from ..regex.ast import Regex, Repeat, Sym, concat, union
 from .document import Element
+from .memo import AcceptanceMemo
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports nothing from here)
     from ..api import Pattern
@@ -199,6 +200,9 @@ class XSDSchema:
     #: else the direct matcher); memoized so the per-element cost of
     #: validation is one dict probe, with no Pattern property traffic.
     _engines: dict = field(default_factory=dict, repr=False)
+    #: name → per-element acceptance memo (compiled path only), shared
+    #: through the pattern and persisted in the ``MEMO`` snapshot section.
+    _memos: dict = field(default_factory=dict, repr=False)
     #: serialises memo misses so concurrent validators resolve one engine
     #: per element; warm validation probes the memo dicts lock-free.
     #: Re-entrant because the engine miss path resolves the pattern memo
@@ -218,6 +222,7 @@ class XSDSchema:
         with self._memo_lock:
             self._patterns.pop(name, None)
             self._engines.pop(name, None)
+            self._memos.pop(name, None)
 
     def to_dict(self) -> dict:
         """JSON-serialisable rendering; :func:`schema_from_dict` is the inverse."""
@@ -274,6 +279,7 @@ class XSDSchema:
                         engine = None
                     elif self.compiled:
                         engine = pattern.runtime
+                        self._memos[name] = pattern.acceptance_memo()
                     else:
                         engine = pattern.matcher
                     engine = engines[name] = engine
@@ -282,6 +288,11 @@ class XSDSchema:
         # Dispatch on what was memoized, not on the (mutable) `compiled`
         # flag: an engine chosen before the flag was flipped keeps working.
         if type(engine) is CompiledRuntime:
+            memo: AcceptanceMemo | None = self._memos.get(name)
+            if memo is not None:
+                # Whole-sequence fast path: repeated child sequences (the
+                # Li et al. workload) are answered by one dict probe.
+                return memo.accepts(engine, child_names)
             return engine.accepts_encoded(engine.encode(child_names))
         return engine.accepts(list(child_names))
 
@@ -345,4 +356,8 @@ class XSDSchema:
             runtime = pattern._built_runtime()
             if runtime is not None:
                 named.append((name, runtime))
-        return aggregate_stats(named)
+        stats = aggregate_stats(named)
+        stats["memos"] = {
+            name: memo.stats() for name, memo in self._memos.items() if memo is not None
+        }
+        return stats

@@ -1,6 +1,6 @@
 """Property tests: persistence may never change a verdict.
 
-Three laws, checked over random deterministic expressions and random
+Four laws, checked over random deterministic expressions and random
 words (including unknown symbols and sentinels):
 
 1. **round trip** — saving a warm runtime's rows and adopting them into
@@ -14,6 +14,11 @@ words (including unknown symbols and sentinels):
    path and never changes an answer.  (Byte flips that survive CRC-32 in
    this file's small payloads do not exist, but the property is stated —
    and checked — end to end through ``load_snapshot``.)
+4. **section independence** (format v2, ISSUE 5) — a random byte flip
+   inside any *one* of the three sections (dense rows, star-free
+   tables, validator memos) rejects only that section: the other two
+   still adopt, and every verdict — matching and document validation —
+   agrees with an uncompiled oracle.
 """
 
 from __future__ import annotations
@@ -26,9 +31,13 @@ from hypothesis import given, settings, strategies as st
 
 import repro
 from repro.matching import CompiledRuntime, build_matcher
+from repro.matching import snapshot as snapshot_format
 from repro.regex.generators import random_deterministic_expression
 from repro.regex.parse_tree import build_parse_tree
 from repro.regex.words import mutate_word, sample_member
+from repro.xml.dtd import parse_dtd
+from repro.xml.parser import parse_document
+from repro.xml.validator import DTDValidator
 
 
 def _workload(seed: int, leaf_count: int):
@@ -104,6 +113,94 @@ def test_single_byte_corruption_never_changes_a_verdict(seed: int, leaf_count: i
         assert [pattern.match(word) for word in words] == expected, (
             f"verdict changed after flipping bit {bit} of byte {offset} "
             f"(saved {saved['bytes']} bytes, load report {report})"
+        )
+    finally:
+        repro.purge()
+
+
+# ---------------------------------------------------------------------------
+# Section independence (format v2)
+# ---------------------------------------------------------------------------
+
+_ROWS_EXPR = "(ab+b(b?)a)*"
+_ROWS_WORDS = ["abba", "ab", "bb", "abab", "", "ba"]
+_STAR_FREE_EXPR = "(a+b)(c?)d"
+_STAR_FREE_WORDS = ["acd", "bd", "dd", "", "ad", "bcd"]
+_DTD_TEXT = "<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>"
+_DOCUMENTS = ["<a><b/></a>", "<a><b/><c/></a>", "<a><c/></a>", "<a><c/><b/></a>"]
+
+
+def _warm_all_sections() -> None:
+    pattern = repro.compile(_ROWS_EXPR)
+    for word in _ROWS_WORDS:
+        pattern.match(word)
+    repro.compile(_STAR_FREE_EXPR).match_all(_STAR_FREE_WORDS)
+    validator = DTDValidator(parse_dtd(_DTD_TEXT))
+    for text in _DOCUMENTS:
+        validator.is_valid(parse_document(text))
+
+
+def _oracle_verdicts() -> dict:
+    rows = repro.Pattern(_ROWS_EXPR, compiled=False)
+    star_free = repro.Pattern(_STAR_FREE_EXPR, compiled=False)
+    validator = DTDValidator(parse_dtd(_DTD_TEXT), compiled=False)
+    return {
+        "rows": [rows.match(word) for word in _ROWS_WORDS],
+        "star_free": [star_free.match(word) for word in _STAR_FREE_WORDS],
+        "documents": [validator.is_valid(parse_document(text)) for text in _DOCUMENTS],
+    }
+
+
+def _live_verdicts() -> dict:
+    validator = DTDValidator(parse_dtd(_DTD_TEXT))
+    return {
+        "rows": [repro.compile(_ROWS_EXPR).match(word) for word in _ROWS_WORDS],
+        "star_free": repro.compile(_STAR_FREE_EXPR).match_all(_STAR_FREE_WORDS),
+        "documents": [validator.is_valid(parse_document(text)) for text in _DOCUMENTS],
+    }
+
+
+@given(
+    tag=st.sampled_from(["ROWS", "SFTB", "MEMO"]),
+    data=st.data(),
+)
+@settings(max_examples=24, deadline=None)
+def test_section_byte_flips_leave_other_sections_adopting(tag: str, data):
+    try:
+        repro.purge()
+        _warm_all_sections()
+        expected = _oracle_verdicts()
+        directory = tempfile.mkdtemp(prefix="snapshot-v2-prop-")
+        path = os.path.join(directory, "state.snapshot")
+        repro.save_snapshot(path)
+
+        description = snapshot_format.describe_file(path)
+        assert [s["tag"] for s in description["sections"]] == ["ROWS", "SFTB", "MEMO"]
+        section = next(s for s in description["sections"] if s["tag"] == tag)
+        offset = section["offset"] + data.draw(
+            st.integers(min_value=0, max_value=section["length"] - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[offset] ^= 1 << bit
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+
+        repro.purge()
+        report = repro.load_snapshot(path)  # must not raise, whatever the flip hit
+        # CRC-32 catches every single-bit flip, so exactly the targeted
+        # section is rejected and the other two still adopt.
+        assert report["rejected"] >= 1, report
+        if tag != "ROWS":
+            assert report["patterns_loaded"] >= 2, report
+        if tag != "SFTB":
+            assert report["tables_loaded"] == 1, report
+        if tag != "MEMO":
+            assert report["memos_loaded"] >= 1, report
+        assert _live_verdicts() == expected, (
+            f"verdict changed after flipping bit {bit} of byte {offset} in section {tag} "
+            f"(load report {report})"
         )
     finally:
         repro.purge()

@@ -222,3 +222,66 @@ class TestLifecycle:
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError):
             ValidationService(workers=0)
+
+    def test_closed_service_raises_a_clear_error(self):
+        """Regression (ISSUE 5): entry points used to fall through to the
+        executor, whose shutdown error (or, for inline-sized corpora, a
+        silent success) never mentioned that the service was closed."""
+        service = ValidationService(workers=2)
+        service.close()
+        with pytest.raises(RuntimeError, match="service is closed"):
+            service.match_batch("(ab)*", ["ab"])
+        with pytest.raises(RuntimeError, match="service is closed"):
+            service.validate_documents(parse_dtd("<!ELEMENT a EMPTY>"), [])
+        with pytest.raises(RuntimeError, match="service is closed"):
+            service.validate_document_texts(parse_dtd("<!ELEMENT a EMPTY>"), [])
+        # stats stays readable on a closed service (monitoring keeps working)
+        assert service.stats()["service"]["closed"] is True
+
+
+class TestChunkedFailure:
+    class _StubPool:
+        """A controllable executor double: futures resolve only when the
+        test says so, which makes the cancel-on-first-failure behaviour
+        of ``_map_chunked`` deterministic to observe."""
+
+        def __init__(self):
+            self.futures = []
+
+        def submit(self, fn, *args):
+            from concurrent.futures import Future
+
+            future = Future()
+            self.futures.append(future)
+            return future
+
+        def shutdown(self, wait=True):
+            pass
+
+    def test_first_failure_cancels_outstanding_chunks(self):
+        """Regression (ISSUE 5): remaining chunks used to keep running
+        after one future raised, burning the pool on a poisoned corpus."""
+        service = ValidationService(workers=2, min_chunk=1)
+        service._pool.shutdown(wait=True)
+        stub = service._pool = self._StubPool()
+        outcome: dict = {}
+
+        def run():
+            try:
+                service._map_chunked(lambda chunk: chunk, [0, 1])
+            except ValueError as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        for _ in range(200):
+            if len(stub.futures) == 2:
+                break
+            threading.Event().wait(0.01)
+        assert len(stub.futures) == 2, "expected two chunks to be submitted"
+        stub.futures[0].set_exception(ValueError("poisoned chunk"))
+        thread.join(timeout=5)
+        assert not thread.is_alive(), "_map_chunked hung on the failed chunk"
+        assert isinstance(outcome.get("error"), ValueError)
+        assert stub.futures[1].cancelled(), "the outstanding chunk was not cancelled"
+        service.close()

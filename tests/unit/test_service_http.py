@@ -22,16 +22,21 @@ DTD_TEXT = "<!ELEMENT a (b, c?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>"
 
 
 @pytest.fixture(scope="module")
-def server_port():
+def http_service():
     service = ValidationService(workers=4)
     server = ServiceHTTPServer(("127.0.0.1", 0), service)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    yield server.server_address[1]
+    yield service, server.server_address[1]
     server.shutdown()
     server.server_close()
     service.close()
     thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def server_port(http_service):
+    return http_service[1]
 
 
 def _get(port: int, path: str):
@@ -97,6 +102,18 @@ class TestMatchEndpoint:
         assert _post(server_port, "/match", {"pattern": "(ab)*"})[0] == 400
         assert _post(server_port, "/match", {"pattern": "(ab)*", "words": "ab"})[0] == 400
 
+    def test_non_string_word_entries_are_a_clean_400(self, server_port):
+        """Regression (ISSUE 5): a non-string word used to surface as a
+        worker-pool TypeError repr'd into the 400 body — after a wasted
+        fan-out on the chunked path.  It must be rejected up front."""
+        for words in (["ab", 7], [None], [["a", 3]], [{"a": 1}]):
+            status, body = _post(
+                server_port, "/match", {"pattern": "(ab)*", "words": words}
+            )
+            assert status == 400, (words, body)
+            assert "TypeError" not in body["error"], body
+            assert "words" in body["error"], body
+
 
 class TestValidateEndpoint:
     def test_dtd_validation_with_violation_messages(self, server_port):
@@ -160,6 +177,26 @@ class TestValidateEndpoint:
         assert _post(server_port, "/validate", {"documents": []})[0] == 400
         payload = {"dtd": DTD_TEXT, "xsd": {"elements": {}}, "documents": []}
         assert _post(server_port, "/validate", payload)[0] == 400
+
+    def test_malformed_request_leaves_the_validator_memo_untouched(self, http_service):
+        """Regression (ISSUE 5): the validator used to be built and
+        *memoized* before the documents were type-checked, so a stream of
+        malformed requests could evict warm validators from the bounded
+        memo.  A bad request must not touch the memo at all."""
+        service, port = http_service
+        warm = "<!ELEMENT w (x?)> <!ELEMENT x EMPTY>"
+        status, _ = _post(port, "/validate", {"dtd": warm, "documents": ["<w><x/></w>"]})
+        assert status == 200
+        with service._memo_lock:
+            before = list(service._validators)
+        assert "dtd:" + warm in before
+        evictor = "<!ELEMENT e EMPTY>"
+        status, body = _post(port, "/validate", {"dtd": evictor, "documents": [42]})
+        assert status == 400 and "documents" in body["error"]
+        with service._memo_lock:
+            after = list(service._validators)
+        assert after == before, "a malformed request changed the validator memo"
+        assert "dtd:" + evictor not in after
 
 
 class TestPlumbing:

@@ -160,7 +160,7 @@ class TestCompileCacheRoute:
 class TestSchemaTelemetry:
     def test_stats_empty_before_validation(self):
         schema = _declare(XSDSchema())
-        assert schema.stats() == {"elements": {}, "totals": {}}
+        assert schema.stats() == {"elements": {}, "totals": {}, "memos": {}}
 
     def test_stats_report_materialization_per_element(self):
         schema = _declare(XSDSchema())
