@@ -136,6 +136,25 @@ def runtime_corpus(word_count: int = 200, word_length: int = 60):
 
 
 @lru_cache(maxsize=None)
+def repeated_match_corpus(pool_size: int = 80, word_length: int = 100, stream_length: int = 3200):
+    """Repeated-match streams for the batch kernel: (name, tree, stream) triples.
+
+    Models the Li et al. observation the kernel exploits: real validation
+    traffic re-matches the same few child sequences over and over.  Each
+    family's stream of *stream_length* words draws (with replacement) from
+    a pool of only *pool_size* distinct words, so a corpus-level dedup
+    answers most of the stream from ``pool_size`` scans while a per-word
+    driver pays for every draw.
+    """
+    streams = []
+    for name, tree, pool in runtime_corpus(pool_size, word_length):
+        generator = rng()
+        stream = tuple(generator.choice(pool) for _ in range(stream_length))
+        streams.append((name, tree, stream))
+    return tuple(streams)
+
+
+@lru_cache(maxsize=None)
 def xsd_workload(order_count: int):
     """An XSD-style schema plus generated documents (the Li et al. workload).
 

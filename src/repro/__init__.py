@@ -46,12 +46,14 @@ from .errors import (
     AlphabetError,
     DTDSyntaxError,
     InvalidExpressionError,
+    LexError,
     NotDeterministicError,
     RegexSyntaxError,
     ReproError,
     ValidationError,
     XMLSyntaxError,
 )
+from .lexer import Lexer, Token
 from .matching import CompiledRuntime, build_matcher
 from .regex import Regex, build_parse_tree, parse, parse_word, to_text
 
@@ -66,10 +68,13 @@ __all__ = [
     "DeterminismReport",
     "FollowIndex",
     "InvalidExpressionError",
+    "LexError",
+    "Lexer",
     "NotDeterministicError",
     "NumericDeterminismReport",
     "Pattern",
     "Regex",
+    "Token",
     "RegexSyntaxError",
     "ReproError",
     "ValidationError",

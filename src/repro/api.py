@@ -23,7 +23,9 @@ matcher is lowered on the fly into integer transition rows
 (:class:`~repro.matching.runtime.CompiledRuntime`), so repeated matching
 against one pattern costs two array/dict probes per symbol instead of a
 structure query — hot rows even densify into C-level arrays.
-``Pattern.match_all`` batch-encodes many words through that path, and
+``Pattern.match_all`` runs whole corpora through the batch kernel on top
+of those rows (:mod:`repro.matching.kernel`: one flat premultiplied scan
+table, dedup-encoded words, several symbols per table probe), and
 :func:`compile` keeps an ``re``-style LRU cache so schema workloads that
 re-compile the same few content models millions of times (the Li et al.
 observation) hit a warm pattern:
@@ -122,6 +124,9 @@ class Pattern:
         #: lazily built whole-sequence acceptance memo (the XML
         #: validators' per-element cache; see :meth:`acceptance_memo`)
         self._acceptance_memo = None
+        #: batch-kernel traffic split for this pattern (see runtime_stats)
+        self._kernel_words = 0
+        self._kernel_fallback_words = 0
         #: guards lazy construction (matcher, runtime, batch matcher) so
         #: worker threads sharing one cached pattern build each exactly once
         self._init_lock = threading.Lock()
@@ -217,14 +222,20 @@ class Pattern:
         Each word is parsed and integer-encoded exactly once.  Star-free
         deterministic patterns then run as *one* encoded-corpus pass of the
         multi-word matcher (Theorem 4.12) — the whole batch is answered
-        during a single scan of the expression's positions; every other
-        pattern replays the corpus through the compiled runtime so all
-        words share the memoized transition rows.  :meth:`describe` reports
-        which path a pattern takes under ``"batch_path"``.  With
-        ``compiled=False`` this falls back to the direct path — one
-        :meth:`match` per word on the uncompiled matcher — which keeps the
-        per-symbol structure queries observable (that is what the
-        benchmarks compare against).
+        during a single scan of the expression's positions.  Every other
+        pattern runs through the batch kernel
+        (:mod:`repro.matching.kernel`): the runtime's rows are flattened
+        into one premultiplied scan table, the corpus is dedup-encoded
+        once, and each distinct word is a branch-free stride over that
+        table; words crossing not-yet-materialized state replay per-word
+        through the compiled runtime — filling those rows, so repeated
+        corpora converge to the all-kernel path.  Tiny batches (and
+        machines too large for a kernel table) keep the per-word replay
+        driver.  :meth:`describe` reports which path a pattern takes
+        under ``"batch_path"``.  With ``compiled=False`` this falls back
+        to the direct path — one :meth:`match` per word on the uncompiled
+        matcher — which keeps the per-symbol structure queries observable
+        (that is what the benchmarks compare against).
         """
         if not self._compiled:
             return [self.match(word) for word in words]
@@ -232,10 +243,22 @@ class Pattern:
         if multi is not None:
             encoded = self.tree.alphabet.encode_many(parse_word(word) for word in words)
             return multi.match_all_encoded(encoded)
+        from .matching import kernel
+
+        parsed = [parse_word(word) for word in words]
         runtime = self.runtime
+        # Building a composed table costs milliseconds; only route tiny
+        # batches through the kernel when a program is already cached.
+        if len(parsed) >= kernel.MIN_BATCH or runtime._kernel_programs:
+            result = kernel.match_words(runtime, parsed)
+            if result is not None:
+                verdicts, kernel_words, fallback_words = result
+                with self._init_lock:
+                    self._kernel_words += kernel_words
+                    self._kernel_fallback_words += fallback_words
+                return verdicts
         accepts_encoded = runtime.accepts_encoded
-        encode = runtime.encode
-        return [accepts_encoded(encode(parse_word(word))) for word in words]
+        return [accepts_encoded(runtime.encode(word)) for word in parsed]
 
     def _batch_matcher(self):
         """The star-free multi-matcher for batch calls, or ``None``.
@@ -310,9 +333,14 @@ class Pattern:
 
         ``"batch_path"`` names the route :meth:`match_all` takes:
         ``"star-free-multi"`` (one encoded-corpus pass, Theorem 4.12),
-        ``"compiled-runtime"`` (per-word replay over shared memoized rows)
-        or ``"per-word"`` (the uncompiled fallback).
+        ``"compiled-kernel"`` (dedup-encoded corpus strided over the flat
+        kernel table, per-word replay as the convergence fallback),
+        ``"compiled-runtime"`` (per-word replay only — the machine is too
+        large for a kernel table) or ``"per-word"`` (the uncompiled
+        fallback).
         """
+        from .matching import kernel
+
         summary = classify(self.expression)
         summary["deterministic"] = self.is_deterministic
         if self.is_deterministic:
@@ -321,6 +349,8 @@ class Pattern:
                 summary["batch_path"] = "per-word"
             elif self._batch_matcher() is not None:
                 summary["batch_path"] = "star-free-multi"
+            elif kernel.eligible(self.tree):
+                summary["batch_path"] = "compiled-kernel"
             else:
                 summary["batch_path"] = "compiled-runtime"
         else:
@@ -356,9 +386,22 @@ class Pattern:
         return multi
 
     def runtime_stats(self) -> dict[str, int] | None:
-        """Lazy-DFA materialization stats, or ``None`` before any matching."""
+        """Lazy-DFA materialization stats, or ``None`` before any matching.
+
+        On top of :meth:`CompiledRuntime.stats` (which includes
+        ``kernel_programs``, the flat tables compiled from the rows), the
+        pattern adds its own batch-kernel traffic split:
+        ``kernel_words`` answered by table scans versus
+        ``kernel_fallback_words`` that replayed per-word while the rows
+        were still materializing.
+        """
         runtime = self._built_runtime()
-        return None if runtime is None else runtime.stats()
+        if runtime is None:
+            return None
+        stats = runtime.stats()
+        stats["kernel_words"] = self._kernel_words
+        stats["kernel_fallback_words"] = self._kernel_fallback_words
+        return stats
 
     def cache_stats(self) -> dict[str, dict[str, int] | None]:
         """Combined telemetry: the compile cache plus this pattern's runtime.
@@ -890,8 +933,11 @@ def load_snapshot(path: str) -> dict:
     rows keep the underlying mapping alive for as long as they are
     referenced; the snapshot object itself is not retained.  Returns
     ``{"path", "format", "patterns_loaded", "rows_loaded",
-    "tables_loaded", "table_entries_loaded", "memos_loaded",
-    "memo_entries_loaded", "rejected", "errors"}``.
+    "kernel_ready_loaded", "tables_loaded", "table_entries_loaded",
+    "memos_loaded", "memo_entries_loaded", "rejected", "errors"}``;
+    ``kernel_ready_loaded`` counts entries that adopted the *whole*
+    machine, whose first batch call therefore exports a zero-fallback
+    kernel program without ever building a matcher.
     """
     from .matching import snapshot as snapshot_format
 
@@ -904,6 +950,7 @@ def load_snapshot(path: str) -> dict:
         "format": None,
         "patterns_loaded": 0,
         "rows_loaded": 0,
+        "kernel_ready_loaded": 0,
         "tables_loaded": 0,
         "table_entries_loaded": 0,
         "memos_loaded": 0,
@@ -948,6 +995,10 @@ def load_snapshot(path: str) -> dict:
             pattern = resolve(entry.meta, entry.fingerprint)
             result["rows_loaded"] += pattern.runtime.adopt_rows(entry.accepts, entry.rows())
             result["patterns_loaded"] += 1
+            if entry.kernel_ready:
+                # the whole machine adopted: the first batch call exports
+                # a zero-fallback kernel program with the matcher deferred
+                result["kernel_ready_loaded"] += 1
         except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
             reject(error)
     for table_entry in snapshot.star_free:

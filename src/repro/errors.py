@@ -60,6 +60,20 @@ class NotDeterministicError(ReproError):
         self.report = report
 
 
+class LexError(ReproError):
+    """Raised by :class:`repro.lexer.Lexer` for bad rule sets or stuck input.
+
+    Bad rule sets: a nullable rule (it would match the empty word and the
+    scanner could not advance) or more rules than the tag table can hold.
+    Stuck input: a position where no rule matches any prefix; ``position``
+    carries the character offset for error reporting.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
 class AlphabetError(ReproError):
     """Raised when a word contains a symbol outside the expression alphabet.
 

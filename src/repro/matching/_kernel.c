@@ -1,0 +1,32 @@
+/* Native scan loop for the batch matching kernel (see kernel.py).
+ *
+ * The table is the same premultiplied int32 flat table the pure-Python
+ * path strides: entry values are target_state * span, so one transition
+ * is a single indexed load with no multiply.  `groups` concatenates the
+ * group-encoded distinct words of one corpus; `bounds[w] .. bounds[w+1]`
+ * delimits word w.  Verdict bytes land in `out` (0 reject / 1 accept /
+ * 2 kernel-miss), exactly as the pure scan produces them — the two
+ * backends must be byte-for-byte interchangeable.
+ *
+ * Built best-effort with the system C compiler (no Python.h needed; the
+ * library is loaded through ctypes):
+ *
+ *     cc -O2 -shared -fPIC -o _repro_kernel.so _kernel.c
+ */
+
+#include <stdint.h>
+
+void repro_kernel_scan(const int32_t *table, const uint8_t *accepts,
+                       int64_t start_offset, const int32_t *groups,
+                       const int64_t *bounds, int64_t word_count,
+                       uint8_t *out)
+{
+    for (int64_t word = 0; word < word_count; ++word) {
+        int64_t off = start_offset;
+        const int32_t *group = groups + bounds[word];
+        const int32_t *end = groups + bounds[word + 1];
+        for (; group != end; ++group)
+            off = table[off + *group];
+        out[word] = accepts[off];
+    }
+}

@@ -58,8 +58,9 @@ module-level lock.
 True
 >>> runtime.accepts("aba")
 False
->>> sorted(runtime.stats())
-['adopted_rows', 'dense_rows', 'misses', 'shared_rows', 'states_visited', 'transitions_memoized']
+>>> sorted(runtime.stats())  # doctest: +NORMALIZE_WHITESPACE
+['adopted_rows', 'dense_rows', 'kernel_programs', 'misses', 'shared_rows',
+ 'states_visited', 'transitions_memoized']
 
 The runtime preserves the streaming contract of the direct path:
 :meth:`CompiledRuntime.start` returns a :class:`CompiledRun` with the same
@@ -205,6 +206,9 @@ class CompiledRuntime:
         "misses",
         "row_dedups",
         "_adopted_rows",
+        "_generation",
+        "_kernel_programs",
+        "kernel_programs_built",
     )
 
     def __init__(
@@ -244,6 +248,14 @@ class CompiledRuntime:
         self.row_dedups = 0
         #: rows installed from a persisted snapshot (mmap-backed views)
         self._adopted_rows = 0
+        #: bumped on every mutation of rows or acceptance verdicts; kernel
+        #: programs are cached against it so a stale flat table is rebuilt
+        #: on the next batch call (see :meth:`export_kernel_program`)
+        self._generation = 0
+        #: per-stride cache of ``(generation, KernelProgram)`` pairs
+        self._kernel_programs: dict[int, tuple[int, object]] = {}
+        #: kernel programs compiled for this runtime (telemetry)
+        self.kernel_programs_built = 0
 
     @property
     def matcher(self) -> DeterministicMatcher:
@@ -297,6 +309,7 @@ class CompiledRuntime:
                 target = row[code] = self._miss(state, code)
                 if len(row) >= self._densify_at:
                     self._densify(state, row)
+                self._generation += 1
             return target
 
     def _densify(self, state: int, row: dict[int, int]) -> None:
@@ -324,6 +337,7 @@ class CompiledRuntime:
             else:
                 self.row_dedups += 1
         self._rows[state] = dense
+        self._generation += 1
 
     def step(self, state: int, code: int) -> int:
         """One memoized transition; returns :data:`DEAD` (< 0) on rejection."""
@@ -348,6 +362,7 @@ class CompiledRuntime:
                 if verdict < 0:
                     accepted = self.matcher.follow.accepts_at(self._positions[state])
                     verdict = self._accepts[state] = 1 if accepted else 0
+                    self._generation += 1
         return verdict == 1
 
     # -- whole-word drivers ----------------------------------------------------------
@@ -428,6 +443,7 @@ class CompiledRuntime:
                         verdict = 1 if accepts_at(self._positions[state]) else 0
                         self._accepts[state] = verdict
                         accepts[state] = verdict
+                        self._generation += 1
         return {
             "accepts": bytes(accepts),
             "rows": rows,
@@ -490,7 +506,51 @@ class CompiledRuntime:
                 for state, value in enumerate(accepts):
                     if value != 0xFF and self._accepts[state] < 0:
                         self._accepts[state] = value
+            self._generation += 1
         return adopted
+
+    # -- kernel export -------------------------------------------------------------------
+    def export_kernel_program(self, max_entries: int | None = None, max_stride: int | None = None):
+        """The flat batch-scan table over this runtime's current rows.
+
+        Programs (see :mod:`repro.matching.kernel`) are cached per
+        requested stride against :attr:`_generation`, which every row
+        fill, densification, acceptance resolution and snapshot adoption
+        bumps — so a cached program is exactly as warm as the machine,
+        and a batch call after new traffic rebuilds it over the larger
+        row set.  Building only *reads* rows (missing transitions become
+        fallback edges), so exporting never delegates to the wrapped
+        matcher: a snapshot-preloaded runtime with adopted rows yields a
+        complete kernel program while its matcher stays deferred.
+
+        Returns ``None`` when the machine cannot fit *max_entries* table
+        slots (callers then keep the per-word driver).  Two threads
+        racing on a cold cache may both build; both programs are correct
+        and the last store wins — the cache is an optimization, not a
+        correctness gate.
+        """
+        from .kernel import MAX_STRIDE, TABLE_LIMIT, build_program
+
+        if max_entries is None:
+            max_entries = TABLE_LIMIT
+        if max_stride is None:
+            max_stride = MAX_STRIDE
+        generation = self._generation
+        cached = self._kernel_programs.get(max_stride)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        program = build_program(self, max_entries, max_stride)
+        if program is None:
+            return None
+        if cached is not None and cached[1].stride == program.stride:
+            # group encoding depends only on the machine shape, which a
+            # generation bump never changes: the rebuilt program inherits
+            # the superseded program's memoized word encodings
+            program._encode_cache = cached[1]._encode_cache
+        program.generation = generation
+        self._kernel_programs[max_stride] = (generation, program)
+        self.kernel_programs_built += 1
+        return program
 
     def materialized(self) -> int:
         """Single-number gauge of how much state this runtime holds.
@@ -521,7 +581,10 @@ class CompiledRuntime:
         transition corresponds to exactly one delegation to the wrapped
         matcher — adopted rows were exercised by some earlier process, so
         they are excluded and ``transitions_memoized == misses`` remains
-        the invariant the unit tests pin down.
+        the invariant the unit tests pin down.  ``kernel_programs`` counts
+        flat batch-scan tables compiled from these rows
+        (:meth:`export_kernel_program`); kernel scans only read rows, so
+        they never perturb the other counters.
         """
         visited = 0
         transitions = 0
@@ -540,6 +603,7 @@ class CompiledRuntime:
             "dense_rows": dense_rows,
             "shared_rows": self.row_dedups,
             "adopted_rows": self._adopted_rows,
+            "kernel_programs": self.kernel_programs_built,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -118,7 +118,30 @@ class StarFreeMultiMatcher:
         outside the alphabet encode to a negative code no scanned position
         can carry, so such words simply never advance — the same verdict
         the string-keyed scan produced.
+
+        Repeated words are deduplicated up front — the same corpus-level
+        optimization the batch kernel applies: the scan's waiting-stack
+        work is per *distinct* word, and verdicts fan back out through an
+        index, so log-like streams that re-match the same few lines cost
+        one scanned copy each.
         """
+        seen: dict[tuple[int, ...], int] = {}
+        index: list[int] = []
+        distinct: list[Sequence[int]] = []
+        for word in words:
+            key = tuple(word)
+            slot = seen.get(key)
+            if slot is None:
+                slot = seen[key] = len(distinct)
+                distinct.append(word)
+            index.append(slot)
+        if len(distinct) < len(words):
+            verdicts = self._match_all_encoded_distinct(distinct)
+            return [verdicts[slot] for slot in index]
+        return self._match_all_encoded_distinct(words)
+
+    def _match_all_encoded_distinct(self, words: Sequence[Sequence[int]]) -> list[bool]:
+        """One waiting-stack scan over an already-distinct encoded corpus."""
         follow = self.follow
         tree = self.tree
         symbol_codes = tree.alphabet.codes

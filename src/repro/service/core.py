@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .. import api
+from ..matching.kernel import kernel_stats
 from ..matching.runtime import shared_row_count
 from ..regex.ast import Regex
 from ..xml.document import Document, Element
@@ -313,7 +314,10 @@ class ValidationService:
         patterns to their :meth:`~repro.api.Pattern.runtime_stats`;
         ``validators`` maps memoized wire schemas to their
         ``stats()`` aggregates; ``shared_rows`` counts interned dense rows
-        process-wide; ``snapshot`` is :func:`repro.api.snapshot_stats`
+        process-wide; ``kernel`` is
+        :func:`repro.matching.kernel.kernel_stats` (batch-kernel programs
+        built, kernel-path vs fallback word counts and the scan backend
+        in use); ``snapshot`` is :func:`repro.api.snapshot_stats`
         (dense-row persistence telemetry, including the
         ``snapshot_rejected`` degradation counter).
         """
@@ -340,6 +344,7 @@ class ValidationService:
             "patterns": patterns,
             "validators": validators,
             "shared_rows": shared_row_count(),
+            "kernel": kernel_stats(),
             "snapshot": api.snapshot_stats(),
         }
 

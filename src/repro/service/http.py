@@ -22,7 +22,8 @@ Endpoints (JSON in, JSON out; shapes documented in ``docs/service.md``):
 ``GET /stats``
     The service's consistent telemetry snapshot (request counters with
     p50/p99, compile-cache stats, per-pattern runtime stats, per-schema
-    validator stats, shared dense-row count, snapshot telemetry).
+    validator stats, shared dense-row count, batch-kernel telemetry,
+    snapshot telemetry).
 
 ``GET /snapshot``
     Streams the server's current warm-state snapshot file (format v2,

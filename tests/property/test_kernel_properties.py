@@ -1,0 +1,124 @@
+"""Property tests: the batch kernel agrees with the compiled runtime.
+
+The kernel (:mod:`repro.matching.kernel`) may never change an accept/reject
+verdict: for any deterministic expression and any corpus — member words,
+mutated near-members, random noise, words with out-of-alphabet symbols —
+``match_words`` must agree with per-word ``accepts_encoded`` replay, at any
+warmth level (cold all-fallback programs, mid-corpus densification, rows
+adopted from a snapshot export) and through either scan backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.matching import CompiledRuntime, build_matcher
+from repro.matching import kernel
+from repro.matching.kernel import VERDICT_FALLBACK, match_words
+from repro.regex.generators import random_deterministic_expression
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.words import mutate_word, sample_member
+
+
+def _workload(seed: int, leaf_count: int):
+    """A deterministic expression plus a repeated-match style corpus."""
+    rng = random.Random(seed)
+    expr = random_deterministic_expression(rng, leaf_count)
+    tree = build_parse_tree(expr)
+    alphabet = tree.alphabet.as_list() or ["a"]
+    pool: list[tuple[str, ...]] = [()]
+    for _ in range(5):
+        member = sample_member(expr, rng)
+        pool.append(tuple(member))
+        pool.append(tuple(mutate_word(member, alphabet, rng)))
+        pool.append(tuple(rng.choice(alphabet) for _ in range(rng.randint(1, 8))))
+    pool.append((alphabet[0], "not-in-alphabet"))
+    pool.append(("$",))  # sentinel characters must die on every path
+    pool.append((alphabet[0], "#"))
+    # draw with replacement so the dedup fan-out is actually exercised
+    words = [rng.choice(pool) for _ in range(40)]
+    return tree, words
+
+
+def _per_word(runtime: CompiledRuntime, words) -> list[bool]:
+    return [runtime.accepts_encoded(runtime.encode(word)) for word in words]
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_kernel_agrees_cold_and_warm(seed: int, leaf_count: int):
+    tree, words = _workload(seed, leaf_count)
+    oracle_runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    expected = _per_word(oracle_runtime, words)
+
+    runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    cold = match_words(runtime, words)
+    assert cold is not None, "workload machines must fit a kernel table"
+    assert cold[0] == expected, "cold kernel diverged"
+
+    # The cold pass replayed (and thereby filled) every missed row; the
+    # rebuilt program must answer the same corpus without any fallback.
+    warm_verdicts, _, warm_fallback = match_words(runtime, words)
+    assert warm_verdicts == expected, "warm kernel diverged"
+    assert warm_fallback == 0
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_kernel_survives_mid_corpus_densification(seed: int, leaf_count: int):
+    """Verdicts hold when rows densify (and the generation bumps) mid-run.
+
+    Forcing the densify threshold to 1 promotes every visited state to a
+    dense row on its first transition, so each fallback replay flips row
+    representations under the cached program's feet; every subsequent
+    ``match_words`` call must rebuild and still agree.
+    """
+    tree, words = _workload(seed, leaf_count)
+    oracle_runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    expected = _per_word(oracle_runtime, words)
+
+    runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    runtime._densify_at = 1
+    for split in (5, len(words)):
+        verdicts, _, _ = match_words(runtime, words[:split])
+        assert verdicts == expected[:split], f"diverged after densify split {split}"
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_kernel_over_adopted_rows(seed: int, leaf_count: int):
+    """Snapshot-adopted rows must scan exactly like locally filled ones."""
+    tree, words = _workload(seed, leaf_count)
+    donor = CompiledRuntime(build_matcher(tree, verify=False))
+    expected = _per_word(donor, words)
+    export = donor.export_rows(complete=True)
+
+    def explode():
+        raise AssertionError("adopted rows must answer without a matcher")
+
+    adopter = CompiledRuntime(tree=tree, matcher_factory=explode)
+    adopter.adopt_rows(export["accepts"], export["rows"])
+    verdicts, _, fallback = match_words(adopter, words)
+    assert verdicts == expected
+    assert fallback == 0
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=2, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_pure_and_native_scans_are_byte_identical(seed: int, leaf_count: int):
+    """Both backends walk the same buffers and must emit the same bytes."""
+    if kernel.native_library() is None:
+        pytest.skip("native kernel library not built")
+    tree, words = _workload(seed, leaf_count)
+    runtime = CompiledRuntime(build_matcher(tree, verify=False))
+    _per_word(runtime, words[: len(words) // 2])  # half-warm: some rows miss
+    program = runtime.export_kernel_program()
+    corpus = program.encode_corpus(words)
+    pure = program.scan(corpus, backend="pure")
+    native = program.scan(corpus, backend="native")
+    assert bytes(pure) == bytes(native)
+    assert set(pure) <= {0, 1, VERDICT_FALLBACK}

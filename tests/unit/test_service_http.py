@@ -70,7 +70,7 @@ class TestMatchEndpoint:
         oracle = repro.Pattern("(ab+b(b?)a)*", compiled=False)
         assert body["verdicts"] == [oracle.match(word) for word in words]
         assert body["count"] == len(words)
-        assert body["batch_path"] == "compiled-runtime"
+        assert body["batch_path"] == "compiled-kernel"
 
     def test_star_free_pattern_reports_its_batch_path(self, server_port):
         status, body = _post(
