@@ -101,7 +101,7 @@ def test_batch_verdicts_identical_to_per_word_and_oracle():
             assert batch == oracle, f"{label}: batch diverged from the oracle"
             assert _per_word_loop(service, expr, words) == oracle, label
     # the two batch paths really are distinct
-    assert repro.compile(PATTERNS["starred"]).describe()["batch_path"] == "compiled-runtime"
+    assert repro.compile(PATTERNS["starred"]).describe()["batch_path"] == "compiled-kernel"
     assert repro.compile(PATTERNS["star-free"]).describe()["batch_path"] == "star-free-multi"
 
 
@@ -166,3 +166,346 @@ def test_batch_speedup_at_least_3x():
             assert speedup >= 3.0, (
                 f"{label}: batch only {speedup:.2f}x over the per-word request loop"
             )
+
+
+# ---------------------------------------------------------------------------
+# The aio streaming front: sustained concurrency, p99, bounded memory
+# ---------------------------------------------------------------------------
+
+#: In-flight streaming requests for the sustained-concurrency gate.
+STREAM_CLIENTS = 200
+STREAM_WORDS_PER_CLIENT = 60
+
+#: The bounded-memory gate streams a corpus bigger than the buffered
+#: path's request-body cap — a corpus no client could POST as one JSON
+#: body — and requires the server's lifetime peak RSS to stay below even
+#: one in-memory copy of it.
+HUGE_CORPUS_BYTES = 72 * 1024 * 1024
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))]
+
+
+def _client_corpora() -> tuple[list[list[str]], list[list[bool]]]:
+    """One word list (and its oracle verdicts) per streaming client."""
+    reference = repro.Pattern(PATTERNS["starred"], compiled=False)
+    alphabet = reference.tree.alphabet.as_list()
+    rng = random.Random(20120807)
+    corpora, oracles = [], []
+    for _ in range(STREAM_CLIENTS):
+        words = [
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(2, 10)))
+            for _ in range(STREAM_WORDS_PER_CLIENT)
+        ]
+        corpora.append(words)
+        oracles.append([reference.match(word) for word in words])
+    return corpora, oracles
+
+
+def _stream_match(port: int, expr: str, words: list[str]) -> tuple[list, float]:
+    """One NDJSON streaming /match request over a blocking socket.
+
+    Uses the same thread-pool client harness as the threaded-front burst
+    so the two fronts are measured through identical client machinery;
+    only the wire protocol differs.  Returns (verdicts, seconds).
+    """
+    import socket
+
+    start = time.perf_counter()
+    lines = [json.dumps({"pattern": expr})] + [json.dumps(word) for word in words]
+    body = ("\n".join(lines) + "\n").encode()
+    head = (
+        "POST /match HTTP/1.1\r\nHost: bench\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode()
+    for attempt in range(8):
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=60) as sock:
+                sock.sendall(head + body)
+                raw = bytearray()
+                while True:
+                    piece = sock.recv(1 << 16)
+                    if not piece:
+                        break
+                    raw += piece
+            break
+        except (ConnectionError, OSError):
+            if attempt == 7:
+                raise
+            time.sleep(0.05 * (attempt + 1))
+    head_end = raw.index(b"\r\n\r\n")
+    assert b" 200 " in raw[:head_end].split(b"\r\n", 1)[0], raw[:head_end]
+    payload = bytearray()
+    cursor = head_end + 4
+    while True:
+        size_end = raw.index(b"\r\n", cursor)
+        size = int(raw[cursor:size_end], 16)
+        if size == 0:
+            break
+        payload += raw[size_end + 2 : size_end + 2 + size]
+        cursor = size_end + 2 + size + 2
+    decoded = [json.loads(line) for line in bytes(payload).splitlines()]
+    trailer = decoded[-1]
+    assert trailer.get("done") is True and trailer["count"] == len(words)
+    return decoded[1:-1], time.perf_counter() - start
+
+
+def _threaded_match(port: int, expr: str, words: list[str]) -> tuple[list, float]:
+    """One buffered /match request against the threaded front.
+
+    A 200-way connect burst can overflow the threaded server's listen
+    backlog; a reset connection is retried (as any real client would),
+    and the retries count toward this request's latency — backlog
+    overflow *is* part of the thread-per-connection tail.
+    """
+    start = time.perf_counter()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/match",
+        data=json.dumps({"pattern": expr, "words": words}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    for attempt in range(8):
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                verdicts = json.load(response)["verdicts"]
+            break
+        except (ConnectionError, OSError):
+            if attempt == 7:
+                raise
+            time.sleep(0.05 * (attempt + 1))
+    return verdicts, time.perf_counter() - start
+
+
+def test_sustained_streaming_concurrency_gate():
+    """≥ 200 in-flight streams: oracle-identical verdicts, aio p99 < threaded p99.
+
+    The threaded front answers the same 200-way burst with a thread per
+    connection; the aio front runs them through one event loop with
+    micro-batched pool work.  The gate requires every aio verdict to
+    match the single-threaded oracle and the aio tail latency to beat the
+    thread-per-connection tail at the same concurrency.
+    """
+    import asyncio
+    import concurrent.futures
+    import threading
+
+    from repro.service.aio import AsyncServiceServer
+
+    expr = PATTERNS["starred"]
+    corpora, oracles = _client_corpora()
+
+    # -- threaded front under the same burst --------------------------------
+    with ValidationService(workers=8) as threaded_service:
+        server = ServiceHTTPServer(("127.0.0.1", 0), threaded_service)
+        threaded_port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            threaded_service.match_batch(expr, corpora[0])  # warm
+            with concurrent.futures.ThreadPoolExecutor(STREAM_CLIENTS) as pool:
+                threaded_results = list(
+                    pool.map(
+                        lambda words: _threaded_match(threaded_port, expr, words),
+                        corpora,
+                    )
+                )
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+    threaded_p99 = _percentile([seconds for _, seconds in threaded_results], 0.99)
+    for (verdicts, _), oracle in zip(threaded_results, oracles):
+        assert verdicts == oracle
+
+    # -- aio front: the identical burst through the identical harness --------
+    with ValidationService(workers=8) as aio_service:
+        front = AsyncServiceServer(aio_service)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        stop = concurrent.futures.Future()
+
+        async def boot():
+            await front.start("127.0.0.1", 0)
+            ready.set()
+            await asyncio.wrap_future(stop)
+            await front.close()
+
+        runner = threading.Thread(target=lambda: loop.run_until_complete(boot()), daemon=True)
+        runner.start()
+        ready.wait(timeout=10)
+        try:
+            aio_port = front.address()[1]
+            _stream_match(aio_port, expr, corpora[0])  # warm
+            with concurrent.futures.ThreadPoolExecutor(STREAM_CLIENTS) as pool:
+                aio_results = list(
+                    pool.map(
+                        lambda words: _stream_match(aio_port, expr, words),
+                        corpora,
+                    )
+                )
+            assert front.streams >= STREAM_CLIENTS
+        finally:
+            stop.set_result(None)
+            runner.join(timeout=10)
+            loop.close()
+    aio_p99 = _percentile([seconds for _, seconds in aio_results], 0.99)
+    for (verdicts, _), oracle in zip(aio_results, oracles):
+        assert verdicts == oracle
+
+    print(
+        f"\n{STREAM_CLIENTS} in-flight: aio p99 {aio_p99 * 1000:.1f}ms, "
+        f"threaded p99 {threaded_p99 * 1000:.1f}ms"
+    )
+    assert aio_p99 < threaded_p99, (
+        f"aio p99 {aio_p99 * 1000:.1f}ms not better than "
+        f"threaded p99 {threaded_p99 * 1000:.1f}ms at {STREAM_CLIENTS}-way concurrency"
+    )
+
+
+def test_streaming_peak_rss_stays_below_the_corpus():
+    """Stream a corpus the buffered path could never accept; bound peak RSS.
+
+    The corpus exceeds ``MAX_BODY_BYTES`` (a buffered POST would be
+    rejected with 413 before parsing), so NDJSON streaming is the only
+    way to validate it in one request — and the server process's
+    lifetime peak RSS (``VmHWM``) must stay below the size of one
+    in-memory copy of the corpus, proving neither the body nor the
+    verdicts are ever materialised.
+    """
+    import os
+    import socket
+    import subprocess
+    import sys
+
+    import pytest
+
+    if not os.path.exists("/proc/self/status"):
+        pytest.skip("VmHWM requires /proc")
+
+    from repro.service.http import MAX_BODY_BYTES
+
+    assert HUGE_CORPUS_BYTES > MAX_BODY_BYTES
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                      env.get("PYTHONPATH", "")])
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--front", "aio", "--port", "0"],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        port = int(banner.rsplit(":", 1)[1].split()[0].rstrip("/"))
+
+        word = "abba" * 256  # 1 KiB per line, a member of the pattern
+        line = (json.dumps(word) + "\n").encode()
+        count = HUGE_CORPUS_BYTES // len(line) + 1
+
+        with socket.create_connection(("127.0.0.1", port), timeout=120) as sock:
+            sock.sendall(
+                b"POST /match HTTP/1.1\r\nHost: bench\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            )
+            header = (json.dumps({"pattern": PATTERNS["starred"]}) + "\n").encode()
+            sock.sendall(f"{len(header):x}\r\n".encode() + header + b"\r\n")
+            sock.settimeout(300)
+
+            # Upload and download must interleave: a reader thread drains
+            # verdicts while the corpus is still being generated.
+            received = bytearray()
+
+            def drain() -> None:
+                while True:
+                    piece = sock.recv(1 << 20)
+                    if not piece:
+                        return
+                    received.extend(piece)
+
+            import threading
+
+            reader = threading.Thread(target=drain, daemon=True)
+            reader.start()
+            frame = line * 64  # 64 KiB chunks
+            sent = 0
+            while sent < count:
+                batch = min(64, count - sent)
+                piece = frame if batch == 64 else line * batch
+                sock.sendall(f"{len(piece):x}\r\n".encode() + piece + b"\r\n")
+                sent += batch
+            sock.sendall(b"0\r\n\r\n")
+            reader.join(timeout=300)
+
+        body = bytes(received)
+        head_end = body.index(b"\r\n\r\n")
+        assert b" 200 " in body[:head_end].split(b"\r\n", 1)[0]
+        # The trailer rides in the last chunks; "done" proves the server
+        # saw every line rather than bailing early.
+        trailer_at = body.rindex(b'{"count":')
+        trailer = json.loads(body[trailer_at : body.index(b"\n", trailer_at)])
+        assert trailer == {"count": count, "done": True}
+
+        with open(f"/proc/{process.pid}/status") as status:
+            fields = dict(
+                line.split(":", 1) for line in status.read().splitlines() if ":" in line
+            )
+        peak_bytes = int(fields["VmHWM"].split()[0]) * 1024
+        print(
+            f"\nstreamed {count} words ({count * len(line) / 2**20:.0f} MiB), "
+            f"server VmHWM {peak_bytes / 2**20:.0f} MiB"
+        )
+        assert peak_bytes < HUGE_CORPUS_BYTES, (
+            f"server peak RSS {peak_bytes / 2**20:.0f} MiB is not below the "
+            f"{HUGE_CORPUS_BYTES / 2**20:.0f} MiB corpus it streamed"
+        )
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+
+def test_streaming_request_timing(benchmark):
+    """pytest-benchmark timing of one warm NDJSON streaming request.
+
+    The CI ``service-aio`` job uploads this as ``BENCH_service_aio.json``
+    so the perf trajectory tracks the streaming path alongside the
+    buffered one.
+    """
+    import asyncio
+    import concurrent.futures
+    import threading
+
+    from repro.service.aio import AsyncServiceServer
+
+    expr = PATTERNS["starred"]
+    words, oracle = _corpus(expr)
+    with ValidationService(workers=8) as service:
+        front = AsyncServiceServer(service)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        stop = concurrent.futures.Future()
+
+        async def boot():
+            await front.start("127.0.0.1", 0)
+            ready.set()
+            await asyncio.wrap_future(stop)
+            await front.close()
+
+        runner = threading.Thread(target=lambda: loop.run_until_complete(boot()), daemon=True)
+        runner.start()
+        ready.wait(timeout=10)
+        try:
+            port = front.address()[1]
+            verdicts, _ = _stream_match(port, expr, words)  # warm + verify
+            assert verdicts == oracle
+            benchmark(lambda: _stream_match(port, expr, words))
+        finally:
+            stop.set_result(None)
+            runner.join(timeout=10)
+            loop.close()

@@ -33,9 +33,11 @@ from .api import (
     compile,  # noqa: A004 - mirrors re.compile
     is_deterministic,
     is_deterministic_numeric,
+    iter_cached_patterns,
     load_snapshot,
     match,
     purge,  # noqa: A004 - mirrors re.purge
+    resize_compile_cache,
     save_snapshot,
     snapshot_stats,
 )
@@ -88,11 +90,13 @@ __all__ = [
     "compile",
     "is_deterministic",
     "is_deterministic_numeric",
+    "iter_cached_patterns",
     "load_snapshot",
     "match",
     "parse",
     "parse_word",
     "purge",
+    "resize_compile_cache",
     "save_snapshot",
     "snapshot_stats",
     "to_text",

@@ -521,6 +521,23 @@ class _PatternCache:
                 self.hits = self.misses = self.insertions = 0
             clear_shared_rows()
 
+    def resize(self, maxsize: int) -> int:
+        """Change the cache bound; returns the previous bound.
+
+        Shrinking evicts the least-recently-used overflow immediately
+        (under the writer lock, atomic with concurrent misses); growing
+        just raises the bound.  In-flight matches keep any pattern they
+        already hold — eviction only drops the cache's reference.
+        """
+        if maxsize < 1:
+            raise ValueError("cache size must be >= 1")
+        with self.lock:
+            previous = self.maxsize
+            self.maxsize = maxsize
+            while len(self._entries) > maxsize:
+                self._entries.popitem(last=False)
+            return previous
+
     def items(self) -> list[tuple[tuple, "Pattern"]]:
         """A consistent (key, pattern) snapshot of the live entries."""
         with self.lock:
@@ -582,6 +599,37 @@ def purge() -> None:
     already reference.
     """
     _CACHE.purge()
+
+
+def resize_compile_cache(maxsize: int) -> int:
+    """Re-bound the compile cache at runtime; returns the previous bound.
+
+    :data:`COMPILE_CACHE_SIZE` stays the *boot* default — this call is
+    the telemetry-driven override behind it
+    (:class:`repro.service.autosize.Autosizer` grows the bound when
+    ``cache_stats()["evictions"]`` keeps climbing under live traffic and
+    shrinks it back when the working set contracts).  Shrinking evicts
+    LRU overflow immediately; verdicts are unaffected either way —
+    eviction only costs the next compile of that pattern.
+
+    >>> import repro
+    >>> previous = repro.resize_compile_cache(1024)
+    >>> repro.cache_stats()["max_size"]
+    1024
+    >>> _ = repro.resize_compile_cache(previous)
+    """
+    return _CACHE.resize(maxsize)
+
+
+def iter_cached_patterns() -> list[tuple[tuple, "Pattern"]]:
+    """A consistent ``(cache key, pattern)`` snapshot of the compile cache.
+
+    The telemetry walk behind :func:`snapshot_stats`'s ``materialized``
+    gauge and the autosizer's per-pattern memo policy: every live cached
+    pattern, without forcing any lazy construction.  Cache keys are
+    ``(expr, dialect, strategy, compiled)`` tuples.
+    """
+    return _CACHE.items()
 
 
 def cache_stats() -> dict[str, int]:
@@ -1132,9 +1180,11 @@ __all__ = [
     "compile",
     "is_deterministic",
     "is_deterministic_numeric",
+    "iter_cached_patterns",
     "load_snapshot",
     "match",
     "purge",
+    "resize_compile_cache",
     "save_snapshot",
     "snapshot_stats",
 ]

@@ -187,6 +187,14 @@ class NumericDeterminismChecker:
         for node in order:
             self._compute_sets(node)
         self._follow: list[set[int]] = [set() for _ in self.positions]
+        #: which contribution installed each follow edge: ``None`` for
+        #: ordinary (concat) follow, else ``(loop-node id, counting?)``.
+        #: A *duplicate* contribution of one edge from a different source
+        #: is invisible to the label checks (same position, same label)
+        #: but is a real ambiguity whenever a counter is involved: the
+        #: two routes perform different counter updates, so the counter
+        #: automaton has two distinct transitions on one symbol.
+        self._edge_source: dict[tuple[int, int], tuple[int, bool] | None] = {}
         self._conflict: NumericConflict | None = None
         for node in order:  # children strictly before parents
             if self._conflict is not None:
@@ -275,8 +283,17 @@ class NumericDeterminismChecker:
                 return
             (child,) = node.children
             if node.flexible:
+                # A loop whose iteration count is *constrained* carries a
+                # real counter: looping and exiting perform different
+                # counter updates, so even re-contributing an existing
+                # edge (same positions, same label) is an ambiguity.
+                # Plain Kleene loops (low <= 1, unbounded high) need no
+                # counter — duplicated edges from nested stars collapse
+                # into one transition, exactly like the plain Glushkov
+                # construction.
+                counting = low >= 2 or (high is not UNBOUNDED and high >= 2)
                 for p in node.last:
-                    self._extend_follow(p, child.first, "loop")
+                    self._extend_follow(p, child.first, "loop", owner=(id(node), counting))
             else:
                 # Rigid counter: looping and exiting are mutually exclusive, so
                 # the loop followers only have to be label-disjoint from the
@@ -284,13 +301,32 @@ class NumericDeterminismChecker:
                 for p in node.last:
                     self._check_disjoint(p, child.first)
 
-    def _extend_follow(self, position: int, targets: list[int], via: str) -> None:
+    def _extend_follow(
+        self,
+        position: int,
+        targets: list[int],
+        via: str,
+        owner: tuple[int, bool] | None = None,
+    ) -> None:
         if self._conflict is not None:
             return
         follow = self._follow[position]
         labels = {self.positions[q].symbol: q for q in follow}
+        counting = owner is not None and owner[1]
         for q in targets:
             if q in follow:
+                # The edge exists already.  From the same source that is a
+                # no-op; from a *different* source it means two distinct
+                # transitions share (position, symbol, target) — harmless
+                # between counterless loops, ambiguous once a counter is
+                # involved (the updates differ, e.g. ``(a{2,3})+`` where
+                # the inner loop and the outer restart compete on ``a``).
+                previous = self._edge_source.get((position, q))
+                if previous != owner and (counting or (previous is not None and previous[1])):
+                    self._conflict = NumericConflict(
+                        self.positions[q].symbol, self.positions[q], self.positions[q], via
+                    )
+                    return
                 continue
             label = self.positions[q].symbol
             other = labels.get(label)
@@ -301,6 +337,7 @@ class NumericDeterminismChecker:
                 return
             labels[label] = q
             follow.add(q)
+            self._edge_source[(position, q)] = owner
 
     def _check_disjoint(self, position: int, loop_targets: list[int]) -> None:
         if self._conflict is not None:

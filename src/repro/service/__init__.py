@@ -26,6 +26,17 @@ Two entry points:
 * :mod:`repro.service.http` — a stdlib-only HTTP front end
   (``python -m repro.service``) with ``POST /match``, ``POST /validate``,
   ``GET /stats`` and ``GET /snapshot`` (the fleet-bootstrap stream);
+* :mod:`repro.service.aio` — the asyncio streaming front
+  (``--front aio``): the same endpoints from one event loop per process,
+  plus NDJSON request/response streaming with per-connection
+  backpressure, per-request deadlines (``X-Repro-Deadline-Ms``), content-
+  negotiated violation detail levels and an ``Authorization: Bearer``
+  hook; framing rules shared with the threaded front live in
+  :mod:`repro.service.wire`;
+* :mod:`repro.service.autosize` — telemetry-driven cache sizing
+  (``--autosize``): a feedback loop resizing the compile cache
+  (:func:`repro.resize_compile_cache`) and the per-pattern acceptance
+  memos from the same counters ``GET /stats`` reports;
 * :mod:`repro.service.prefork` — the multi-process front
   (``--processes N``): the parent preloads a warm-state snapshot
   (``docs/snapshot.md`` — a file, or a running fleet's ``/snapshot``
@@ -39,14 +50,20 @@ Two entry points:
 See ``docs/service.md`` for endpoint shapes and deployment notes.
 """
 
+from .aio import AsyncServiceServer
+from .aio import serve as serve_aio
+from .autosize import Autosizer
 from .core import DocumentVerdict, ValidationService
 from .http import ServiceHTTPServer, serve
 from .prefork import SnapshotRefresher
 
 __all__ = [
+    "AsyncServiceServer",
+    "Autosizer",
     "DocumentVerdict",
     "ServiceHTTPServer",
     "SnapshotRefresher",
     "ValidationService",
     "serve",
+    "serve_aio",
 ]

@@ -1,8 +1,15 @@
 """``python -m repro.service`` — boot the HTTP validation service.
 
 Single-process by default; ``--processes N`` switches to the prefork
-front (N shared-nothing worker processes accepting on one socket).  The
-snapshot lifecycle (``docs/snapshot.md``):
+model (N shared-nothing worker processes accepting on one socket), and
+``--front {threaded,aio}`` picks each process's serving body: the
+thread-per-connection front (default) or the asyncio streaming front
+(NDJSON request/response streaming with backpressure and per-request
+deadlines — ``docs/service.md``).  ``--auth-token`` (or the
+``REPRO_AUTH_TOKEN`` environment variable) requires ``Authorization:
+Bearer`` on everything but ``/healthz``; ``--autosize`` runs the
+telemetry-driven cache-sizing loop.  The snapshot lifecycle
+(``docs/snapshot.md``):
 
 * ``--snapshot PATH`` preloads a warm-state snapshot before any traffic
   (in prefork mode the parent loads it once and every forked worker
@@ -23,6 +30,7 @@ import argparse
 import os
 
 from .. import api
+from .autosize import AUTOSIZE_INTERVAL, Autosizer
 from .core import DEFAULT_WORKERS
 from .http import DEFAULT_HOST, DEFAULT_PORT, serve
 from .prefork import (
@@ -60,6 +68,35 @@ def main(argv: list[str] | None = None) -> None:
         type=int,
         default=1,
         help="worker processes; > 1 boots the prefork front (POSIX only, default 1)",
+    )
+    parser.add_argument(
+        "--front",
+        choices=("threaded", "aio"),
+        default="threaded",
+        help="serving front per process: thread-per-connection (threaded, default) "
+        "or the asyncio streaming front (aio: NDJSON streaming, backpressure, "
+        "deadlines)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_AUTH_TOKEN"),
+        metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' on every endpoint except "
+        "/healthz (default: $REPRO_AUTH_TOKEN; aio front only)",
+    )
+    parser.add_argument(
+        "--autosize",
+        action="store_true",
+        help="telemetry-driven cache sizing: grow/shrink the compile cache and "
+        "per-pattern acceptance memos from live traffic (reported under "
+        "/stats 'autosize')",
+    )
+    parser.add_argument(
+        "--autosize-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=f"seconds between autosizing ticks (default {AUTOSIZE_INTERVAL:g})",
     )
     parser.add_argument(
         "--snapshot",
@@ -100,6 +137,11 @@ def main(argv: list[str] | None = None) -> None:
     preload = arguments.snapshot or arguments.snapshot_url
     if arguments.snapshot and arguments.snapshot_url:
         parser.error("--snapshot and --snapshot-url are mutually exclusive")
+    if arguments.auth_token and arguments.front != "aio":
+        parser.error("--auth-token requires --front aio")
+    autosize_interval = arguments.autosize_interval
+    if autosize_interval is not None and not arguments.autosize:
+        parser.error("--autosize-interval requires --autosize")
     if arguments.processes > 1 and hasattr(os, "fork"):
         from .prefork import serve_prefork
 
@@ -112,6 +154,11 @@ def main(argv: list[str] | None = None) -> None:
             snapshot_save=arguments.snapshot_save,
             refresh_interval=arguments.snapshot_refresh,
             refresh_min_growth=arguments.snapshot_refresh_growth,
+            front=arguments.front,
+            auth_token=arguments.auth_token,
+            autosize_interval=(
+                (autosize_interval or AUTOSIZE_INTERVAL) if arguments.autosize else None
+            ),
         )
         return
     if arguments.processes > 1:
@@ -127,13 +174,32 @@ def main(argv: list[str] | None = None) -> None:
         if arguments.snapshot_save
         else None
     )
+    autosizer = (
+        Autosizer(interval=autosize_interval if autosize_interval else AUTOSIZE_INTERVAL)
+        if arguments.autosize
+        else None
+    )
     snapshot_source = snapshot_source_for(arguments.snapshot_save, arguments.snapshot)
+    if arguments.front == "aio":
+        from .aio import serve as serve_aio
+
+        serve_aio(
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            snapshot_source=snapshot_source,
+            refresher=refresher,
+            auth_token=arguments.auth_token,
+            autosizer=autosizer,
+        )
+        return
     serve(
         host=arguments.host,
         port=arguments.port,
         workers=arguments.workers,
         snapshot_source=snapshot_source,
         refresher=refresher,
+        autosizer=autosizer,
     )
 
 

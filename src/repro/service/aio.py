@@ -1,0 +1,934 @@
+"""Asyncio streaming front: bounded memory, backpressure, deadlines.
+
+The threaded front (:mod:`repro.service.http`) buffers every request
+body, so validating a corpus is bounded by worker memory, and one
+handler thread parks per connection.  This front serves the same
+endpoints from one event loop per process:
+
+* **Streaming NDJSON** on ``POST /match`` and ``POST /validate``
+  (``Content-Type: application/x-ndjson``, request body streamed via
+  ``Content-Length`` or chunked transfer encoding): *header object, one
+  item per line*; the response is chunked NDJSON — *header object, one
+  verdict per item in order, trailer object* (grammar in
+  ``docs/service.md``).  Memory is bounded by the micro-batch size times
+  the queue depth, never by the corpus.
+* **Backpressure** per connection: items are micro-batched
+  (:data:`STREAM_BATCH`) onto the shared worker pool through a bounded
+  queue (:data:`MAX_PENDING_BATCHES`); when the pool falls behind, the
+  reader stops consuming the socket and TCP pushes back on the client.
+  Verdict writes go through ``drain()``, so a slow *reader* pauses the
+  pipeline instead of buffering it.
+* **Deadlines**: ``X-Repro-Deadline-Ms`` bounds a request wall-clock.
+  Exceeded before the response starts → a clean ``504``; exceeded
+  mid-stream → an ``{"error": ...}`` line (no ``"done"`` trailer) and
+  the connection closes, so a client can always distinguish a complete
+  stream from a truncated one.
+* **CPU stays off the loop**: compiles, matching and document parsing
+  all run on the service's worker pool
+  (:meth:`~repro.service.core.ValidationService.submit_async`); the loop
+  only frames bytes.
+* **Auth hook**: pass ``auth_token`` (``Authorization: Bearer ...``) or
+  override :meth:`AsyncServiceServer.authorize` for anything richer;
+  ``/healthz`` stays open for probes.
+* ``GET /snapshot`` streams via zero-copy ``loop.sendfile`` where the
+  platform has it, with strong ``ETag``/``Range``/``If-Range`` handling
+  shared with the threaded front (:mod:`repro.service.wire`).
+
+Buffered JSON requests (``Content-Type: application/json``) are answered
+with exactly the threaded front's response shapes — the two fronts are
+verdict-identical by construction, which the property tests pin down.
+
+Runs standalone (``python -m repro.service --front aio``) or as the
+worker body of the prefork model (``--processes N --front aio``): each
+forked worker runs one event loop accepting on the inherited socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import json
+import os
+import signal
+import socket
+from http.client import responses as _REASONS
+
+from .. import api
+from ..errors import NotDeterministicError, ReproError
+from ..xml.parser import parse_document
+from . import wire
+from .core import DEFAULT_WORKERS, ValidationService
+from .http import DEFAULT_HOST, DEFAULT_PORT, MAX_BODY_BYTES
+from .prefork import (
+    PUBLISH_INTERVAL,
+    REFRESH_INTERVAL,
+    REFRESH_MIN_GROWTH,
+    SnapshotRefresher,
+    StatsBoard,
+    cluster_payload,
+    _worker_summary,
+)
+from .wire import WireError
+
+#: Items per micro-batch dispatched to the worker pool.  Small enough
+#: that verdicts start flowing almost immediately, large enough that the
+#: per-batch pool handoff amortizes (the batch kernel's sweet spot).
+STREAM_BATCH = 256
+
+#: Pool batches in flight per connection before the reader stops
+#: consuming the socket — the backpressure bound.  Peak buffered items
+#: per connection is ``STREAM_BATCH * (MAX_PENDING_BATCHES + 2)``
+#: regardless of corpus size.
+MAX_PENDING_BATCHES = 8
+
+#: Seconds a keep-alive connection may sit idle between requests.
+IDLE_TIMEOUT = 75.0
+
+#: Request wall-clock bound, milliseconds, set per request.
+DEADLINE_HEADER = "x-repro-deadline-ms"
+
+#: Bytes per read/sendfile-fallback block on the snapshot path.
+_COPY_BLOCK = 64 * 1024
+
+
+def _head_bytes(status: int, headers: list[tuple[str, str]]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def _deadline_seconds(head: wire.RequestHead) -> float | None:
+    raw = head.headers.get(DEADLINE_HEADER)
+    if raw is None:
+        return None
+    try:
+        ms = float(raw)
+    except ValueError:
+        raise WireError(400, f"invalid {DEADLINE_HEADER} header: {raw!r}") from None
+    if ms <= 0:
+        raise WireError(400, f"{DEADLINE_HEADER} must be positive, got {raw!r}")
+    return ms / 1000.0
+
+
+class _ResponseStarted(Exception):
+    """Internal: an error surfaced after response bytes were written."""
+
+
+class AsyncServiceServer:
+    """One event loop serving the validation service's endpoints.
+
+    Wraps a shared :class:`ValidationService`; CPU-bound work is
+    dispatched to its pool, the loop itself only parses frames and moves
+    bytes.  ``board``/``slot``/``processes`` attach the prefork fleet
+    view to ``GET /stats`` exactly like the threaded worker front.
+    """
+
+    def __init__(
+        self,
+        service: ValidationService,
+        snapshot_source: str | None = None,
+        auth_token: str | None = None,
+        board: StatsBoard | None = None,
+        slot: int = 0,
+        processes: int = 1,
+        stream_batch: int = STREAM_BATCH,
+        max_pending: int = MAX_PENDING_BATCHES,
+        idle_timeout: float = IDLE_TIMEOUT,
+    ):
+        self.service = service
+        self.snapshot_source = snapshot_source
+        self.auth_token = auth_token
+        self.board = board
+        self.slot = slot
+        self.processes = processes
+        self.stream_batch = max(1, stream_batch)
+        self.max_pending = max(1, max_pending)
+        self.idle_timeout = idle_timeout
+        #: front telemetry, merged into ``GET /stats`` under ``"aio"``
+        self.connections = 0
+        self.streams = 0
+        self.deadline_hits = 0
+        self.disconnects = 0
+        self.sendfile_sends = 0
+        self._server: asyncio.Server | None = None
+
+    # -- lifecycle ----------------------------------------------------------------------
+    async def start(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        sock: socket.socket | None = None,
+    ) -> asyncio.Server:
+        """Bind (or adopt *sock*) and start accepting; returns the server."""
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock, limit=wire.MAX_HEAD_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host, port, limit=wire.MAX_HEAD_BYTES
+            )
+        return self._server
+
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- auth hook ----------------------------------------------------------------------
+    def authorize(self, head: wire.RequestHead) -> bool:
+        """The per-request auth hook; override for anything beyond Bearer.
+
+        The default accepts everything when no token is configured, and
+        requires ``Authorization: Bearer <token>`` (constant-time
+        comparison) otherwise.  ``/`` and ``/healthz`` bypass this so
+        liveness probes never need credentials.
+        """
+        if self.auth_token is None:
+            return True
+        scheme, _, token = head.headers.get("authorization", "").partition(" ")
+        return scheme.lower() == "bearer" and hmac.compare_digest(
+            token.strip(), self.auth_token
+        )
+
+    # -- connection loop ----------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                try:
+                    async with asyncio.timeout(self.idle_timeout):
+                        head_bytes = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, TimeoutError):
+                    break  # clean EOF between requests, or idle too long
+                except asyncio.LimitOverrunError:
+                    await self._send_json(
+                        writer, 431, {"error": "request head too large"}, close=True
+                    )
+                    break
+                try:
+                    head = wire.parse_request_head(head_bytes[:-4])
+                    if not await self._dispatch(head, reader, writer):
+                        break
+                except WireError as error:
+                    # Protocol-level failure: the body position is
+                    # unknown, so answer and drop the connection.
+                    await self._send_json(
+                        writer, error.status, {"error": str(error)}, close=True
+                    )
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, BrokenPipeError):
+            self.disconnects += 1
+        except _ResponseStarted:
+            self.disconnects += 1
+        except asyncio.CancelledError:
+            pass  # server shutdown mid-request: drop the connection quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, head: wire.RequestHead, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; returns whether the connection survives."""
+        open_paths = ("/", "/healthz")
+        if head.path not in open_paths and not self.authorize(head):
+            await self._send_json(
+                writer,
+                401,
+                {"error": "missing or invalid bearer token"},
+                close=True,
+                extra=[("WWW-Authenticate", "Bearer")],
+            )
+            return False
+        if head.method == "GET":
+            if head.path == "/stats":
+                await self._send_json(writer, 200, self.stats_payload())
+            elif head.path == "/snapshot":
+                return await self._send_snapshot(head, writer)
+            elif head.path in open_paths:
+                await self._send_json(writer, 200, {"status": "ok", "service": "repro"})
+            else:
+                await self._send_json(
+                    writer, 404, {"error": f"no such endpoint: {head.path}"}
+                )
+            return head.keep_alive()
+        if head.method == "POST":
+            return await self._handle_post(head, reader, writer)
+        await self._send_json(
+            writer, 405, {"error": f"method {head.method} not allowed"}, close=True
+        )
+        return False
+
+    def stats_payload(self) -> dict:
+        stats = self.service.stats()
+        stats["aio"] = {
+            "connections": self.connections,
+            "streams": self.streams,
+            "deadline_hits": self.deadline_hits,
+            "disconnects": self.disconnects,
+            "sendfile_sends": self.sendfile_sends,
+            "stream_batch": self.stream_batch,
+            "max_pending_batches": self.max_pending,
+        }
+        if self.board is not None:
+            stats["cluster"] = cluster_payload(self.board, self.processes)
+        return stats
+
+    # -- response plumbing --------------------------------------------------------------
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool = False,
+        extra: list[tuple[str, str]] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+        ]
+        if extra:
+            headers.extend(extra)
+        if close:
+            headers.append(("Connection", "close"))
+        writer.write(_head_bytes(status, headers) + body)
+        await writer.drain()
+
+    # -- POST /match, POST /validate ----------------------------------------------------
+    async def _handle_post(
+        self, head: wire.RequestHead, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        if head.path not in ("/match", "/validate"):
+            await self._send_json(
+                writer, 404, {"error": f"no such endpoint: {head.path}"}, close=True
+            )
+            return False
+        detail = wire.negotiate_detail(head.headers, head.query)
+        deadline = _deadline_seconds(head)
+        if head.wants_ndjson():
+            return await self._handle_stream(head, reader, writer, detail, deadline)
+        return await self._handle_buffered(head, reader, writer, detail, deadline)
+
+    async def _read_buffered_body(
+        self, head: wire.RequestHead, reader: asyncio.StreamReader
+    ) -> dict:
+        length = head.content_length()
+        if head.is_chunked():
+            # Buffered JSON over chunked TE: drain the frames, keep the
+            # same total-size bound as the threaded front.
+            body = bytearray()
+            async for piece in _chunked_frames(reader):
+                body.extend(piece)
+                if len(body) > MAX_BODY_BYTES:
+                    raise WireError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            data = bytes(body)
+        else:
+            if length is None or length <= 0:
+                raise WireError(400, "a JSON body with Content-Length is required")
+            if length > MAX_BODY_BYTES:
+                raise WireError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            data = await reader.readexactly(length)
+        try:
+            payload = json.loads(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise WireError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise WireError(400, "the JSON body must be an object")
+        return payload
+
+    async def _handle_buffered(
+        self,
+        head: wire.RequestHead,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        detail: str,
+        deadline: float | None,
+    ) -> bool:
+        """The threaded front's JSON request/response shapes, loop-hosted."""
+        try:
+            payload = await self._read_buffered_body(head, reader)
+        except WireError as error:
+            await self._send_json(writer, error.status, {"error": str(error)}, close=True)
+            return False
+        try:
+            async with asyncio.timeout(deadline):
+                if head.path == "/match":
+                    status, body = await self._match_buffered(payload)
+                else:
+                    status, body = await self._validate_buffered(payload, detail)
+        except TimeoutError:
+            self.deadline_hits += 1
+            await self._send_json(writer, 504, {"error": "deadline exceeded"})
+            return head.keep_alive()
+        except NotDeterministicError as error:
+            status, body = 422, {"error": str(error)}
+        except ReproError as error:
+            status, body = 400, {"error": str(error)}
+        except (TypeError, ValueError, KeyError) as error:
+            status, body = 400, {"error": f"malformed request: {error!r}"}
+        await self._send_json(writer, status, body)
+        return head.keep_alive()
+
+    async def _match_buffered(self, payload: dict) -> tuple[int, dict]:
+        expr = payload.get("pattern")
+        if not isinstance(expr, str):
+            return 400, {"error": 'a string "pattern" field is required'}
+        words = payload.get("words")
+        if not isinstance(words, list):
+            return 400, {"error": 'a list "words" field is required'}
+        for word in words:
+            if isinstance(word, str):
+                continue
+            if isinstance(word, list) and all(isinstance(symbol, str) for symbol in word):
+                continue
+            return 400, {
+                "error": '"words" entries must be strings or lists of symbol strings'
+            }
+        dialect = payload.get("dialect", "paper")
+        pattern = await self.service.submit_async(api.compile, expr, dialect=dialect)
+        if not pattern.is_deterministic:
+            return 422, {"error": f"pattern is not deterministic: {pattern.explain()}"}
+        verdicts = await self.service.match_batch_async(expr, words, dialect=dialect)
+        description = pattern.describe()
+        return 200, {
+            "pattern": expr,
+            "count": len(verdicts),
+            "verdicts": verdicts,
+            "strategy": description.get("strategy"),
+            "batch_path": description.get("batch_path"),
+        }
+
+    async def _validate_buffered(self, payload: dict, detail: str) -> tuple[int, dict]:
+        documents = payload.get("documents")
+        if not isinstance(documents, list):
+            return 400, {"error": 'a list "documents" field (XML text) is required'}
+        if not all(isinstance(text, str) for text in documents):
+            return 400, {"error": '"documents" must be a list of XML strings'}
+        try:
+            kind, validator = await self._build_validator(payload)
+        except WireError as error:
+            return error.status, {"error": str(error)}
+        verdicts = await self.service.validate_document_texts_async(validator, documents)
+        return 200, {
+            "schema": kind,
+            "count": len(verdicts),
+            "detail": detail,
+            "verdicts": [
+                wire.shape_verdict(v.valid, v.violations, detail) for v in verdicts
+            ],
+        }
+
+    async def _build_validator(self, header: dict):
+        """The schema named by a request header/payload, built off-loop."""
+        dtd_text = header.get("dtd")
+        xsd_data = header.get("xsd")
+        if (dtd_text is None) == (xsd_data is None):
+            raise WireError(
+                400, 'exactly one of "dtd" (text) or "xsd" (object) is required'
+            )
+        if dtd_text is not None:
+            if not isinstance(dtd_text, str):
+                raise WireError(400, '"dtd" must be the DTD as a string')
+            validator = await self.service.submit_async(
+                self.service.validator_for_dtd, dtd_text
+            )
+            return "dtd", validator
+        if not isinstance(xsd_data, dict):
+            raise WireError(400, '"xsd" must be a schema object')
+        validator = await self.service.submit_async(
+            self.service.schema_for_payload,
+            json.dumps(xsd_data, sort_keys=True),
+            xsd_data,
+        )
+        if not validator.is_valid_schema():
+            raise WireError(
+                422, "schema violates Unique Particle Attribution (non-deterministic)"
+            )
+        return "xsd", validator
+
+    # -- the streaming pipeline ---------------------------------------------------------
+    async def _handle_stream(
+        self,
+        head: wire.RequestHead,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        detail: str,
+        deadline: float | None,
+    ) -> bool:
+        """One NDJSON stream: header line, items, verdicts, trailer.
+
+        Memory bound: items are parsed line by line, batched into
+        :attr:`stream_batch`-sized pool submissions through a queue of
+        :attr:`max_pending` — when the pool lags, ``queue.put`` blocks
+        the reader and TCP backpressure reaches the client.  Verdicts
+        are written in order through ``drain()``.  The ``requests``
+        counters see the whole stream as *one* request.
+        """
+        self.streams += 1
+        started = [False]  # set by _run_stream the moment the 200 head goes out
+        with self.service.track_request():
+            try:
+                async with asyncio.timeout(deadline):
+                    await self._run_stream(head, reader, writer, detail, started)
+            except TimeoutError:
+                self.deadline_hits += 1
+                if not started[0]:
+                    await self._send_json(
+                        writer, 504, {"error": "deadline exceeded"}, close=True
+                    )
+                else:
+                    await self._finish_stream_error(writer, "deadline exceeded")
+                return False
+            except WireError as error:
+                if not started[0]:
+                    await self._send_json(
+                        writer, error.status, {"error": str(error)}, close=True
+                    )
+                else:
+                    await self._finish_stream_error(writer, str(error))
+                return False
+            except NotDeterministicError as error:
+                await self._send_json(writer, 422, {"error": str(error)}, close=True)
+                return False
+            except ReproError as error:
+                await self._send_json(writer, 400, {"error": str(error)}, close=True)
+                return False
+        return head.keep_alive()
+
+    async def _run_stream(
+        self,
+        head: wire.RequestHead,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        detail: str,
+        started: list,
+    ) -> None:
+        lines = _body_lines(reader, head)
+        header_line = await anext(lines, None)
+        if header_line is None:
+            raise WireError(400, "an NDJSON stream starts with a header object line")
+        try:
+            header = json.loads(header_line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise WireError(400, f"invalid stream header: {error}") from None
+        if not isinstance(header, dict):
+            raise WireError(400, "the stream header must be a JSON object")
+
+        if head.path == "/match":
+            work, shape, response_header = await self._prepare_match(header, detail)
+            parse_item = _parse_word
+        else:
+            work, shape, response_header = await self._prepare_validate(header, detail)
+            parse_item = _parse_document_text
+
+        # Response head + header line go out before the first verdict:
+        # from here on, errors surface *in-stream* (a missing "done"
+        # trailer), never as a status code.
+        started[0] = True
+        writer.write(
+            _head_bytes(
+                200,
+                [
+                    ("Content-Type", "application/x-ndjson; charset=utf-8"),
+                    ("Transfer-Encoding", "chunked"),
+                ],
+            )
+        )
+        writer.write(wire.chunk(wire.ndjson_line(response_header)))
+        await writer.drain()
+
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_pending)
+
+        async def produce() -> None:
+            try:
+                batch: list = []
+                async for line in lines:
+                    if not line.strip():
+                        continue
+                    batch.append(parse_item(line))
+                    if len(batch) >= self.stream_batch:
+                        await queue.put(asyncio.wrap_future(self.service.submit(work, batch)))
+                        batch = []
+                if batch:
+                    await queue.put(asyncio.wrap_future(self.service.submit(work, batch)))
+                await queue.put(None)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - relayed to the writer loop
+                await queue.put(error)
+
+        producer = asyncio.create_task(produce())
+        total = 0
+        try:
+            while True:
+                entry = await queue.get()
+                if entry is None:
+                    break
+                if isinstance(entry, BaseException):
+                    raise entry
+                for verdict in await entry:
+                    writer.write(wire.chunk(wire.ndjson_line(shape(verdict))))
+                    total += 1
+                await writer.drain()
+            writer.write(wire.chunk(wire.ndjson_line({"count": total, "done": True})))
+            writer.write(wire.CHUNK_END)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            # Mid-stream client disconnect: stop producing, drop queued
+            # pool work, keep the server healthy for other connections.
+            raise _ResponseStarted() from None
+        finally:
+            producer.cancel()
+            while not queue.empty():
+                leftover = queue.get_nowait()
+                if isinstance(leftover, asyncio.Future):
+                    leftover.cancel()
+
+    async def _prepare_match(self, header: dict, detail: str):
+        expr = header.get("pattern")
+        if not isinstance(expr, str):
+            raise WireError(400, 'the stream header needs a string "pattern" field')
+        dialect = header.get("dialect", "paper")
+        pattern = await self.service.submit_async(api.compile, expr, dialect=dialect)
+        if not pattern.is_deterministic:
+            raise WireError(422, f"pattern is not deterministic: {pattern.explain()}")
+        description = pattern.describe()
+        response_header = {
+            "pattern": expr,
+            "strategy": description.get("strategy"),
+            "batch_path": description.get("batch_path"),
+            "detail": detail,
+        }
+        return pattern.match_all, (lambda verdict: verdict), response_header
+
+    async def _prepare_validate(self, header: dict, detail: str):
+        kind, validator = await self._build_validator(header)
+        verdict_of = self.service._verdict
+
+        def work(chunk: list):
+            return [verdict_of(validator, parse_document(text)) for text in chunk]
+
+        def shape(verdict):
+            return wire.shape_verdict(verdict.valid, verdict.violations, detail)
+
+        return work, shape, {"schema": kind, "detail": detail}
+
+    async def _finish_stream_error(self, writer: asyncio.StreamWriter, message: str) -> None:
+        """Terminate a started stream: error line, end chunk, no trailer."""
+        try:
+            writer.write(wire.chunk(wire.ndjson_line({"error": message})))
+            writer.write(wire.CHUNK_END)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    # -- GET /snapshot ------------------------------------------------------------------
+    async def _send_snapshot(
+        self, head: wire.RequestHead, writer: asyncio.StreamWriter
+    ) -> bool:
+        source = self.snapshot_source
+        if not source:
+            await self._send_json(
+                writer, 404, {"error": "this server does not serve a snapshot"}
+            )
+            return head.keep_alive()
+        try:
+            handle = open(source, "rb")
+        except OSError:
+            await self._send_json(
+                writer, 404, {"error": "no snapshot has been persisted yet"}
+            )
+            return head.keep_alive()
+        with handle:
+            stat = os.fstat(handle.fileno())
+            etag = wire.snapshot_etag(stat)
+            size = stat.st_size
+            status, offset, length = 200, 0, size
+            if_range = head.headers.get("if-range")
+            if if_range is None or if_range == etag:
+                try:
+                    span = wire.parse_range(head.headers.get("range"), size)
+                except WireError as error:
+                    await self._send_json(
+                        writer,
+                        error.status,
+                        {"error": str(error)},
+                        extra=[("Content-Range", f"bytes */{size}")],
+                    )
+                    return head.keep_alive()
+                if span is not None:
+                    offset, length = span
+                    status = 206
+            headers = [
+                ("Content-Type", "application/octet-stream"),
+                ("Content-Length", str(length)),
+                ("ETag", etag),
+                ("Accept-Ranges", "bytes"),
+            ]
+            if status == 206:
+                headers.append(
+                    ("Content-Range", f"bytes {offset}-{offset + length - 1}/{size}")
+                )
+            writer.write(_head_bytes(status, headers))
+            await writer.drain()
+            await self._send_file(writer, handle, offset, length)
+        return head.keep_alive()
+
+    async def _send_file(
+        self, writer: asyncio.StreamWriter, handle, offset: int, length: int
+    ) -> None:
+        """Zero-copy sendfile when the platform has it; else a read loop.
+
+        The open descriptor pins one complete snapshot generation (the
+        refresher replaces the *directory entry*, never bytes under an
+        open fd), so a concurrent refresh can never tear this download.
+        """
+        if length == 0:
+            return
+        loop = asyncio.get_running_loop()
+        transport = writer.transport
+        try:
+            await loop.sendfile(transport, handle, offset, length, fallback=False)
+            self.sendfile_sends += 1
+            return
+        except (NotImplementedError, RuntimeError, AttributeError):
+            pass  # SSL transport, exotic platform, or sendfile-less loop
+        handle.seek(offset)
+        remaining = length
+        while remaining > 0:
+            block = handle.read(min(_COPY_BLOCK, remaining))
+            if not block:
+                break
+            writer.write(block)
+            remaining -= len(block)
+            await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Body framing (shared by the buffered and streaming paths)
+# ---------------------------------------------------------------------------
+
+async def _chunked_frames(reader: asyncio.StreamReader):
+    """Decode chunked transfer encoding: yields raw data pieces.
+
+    A frame is consumed in :data:`_COPY_BLOCK` pieces, so one
+    absurdly-sized chunk declared by a client never buffers whole —
+    the line splitter downstream enforces the real per-item bound.
+    """
+    while True:
+        size = wire.parse_chunk_size(await reader.readline())
+        if size == 0:
+            # Drain optional trailers up to the terminating blank line.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            return
+        while size > 0:
+            piece = await reader.read(min(_COPY_BLOCK, size))
+            if not piece:
+                raise WireError(400, "request body ended inside a chunk")
+            size -= len(piece)
+            yield piece
+        await reader.readexactly(2)  # the CRLF after each chunk
+
+
+async def _body_lines(reader: asyncio.StreamReader, head: wire.RequestHead):
+    """Yield the request body's NDJSON lines, incrementally.
+
+    Handles both Content-Length and chunked bodies; buffers at most one
+    incomplete line (bounded by :data:`wire.MAX_LINE_BYTES` — 413
+    beyond) plus one transfer frame, never the corpus.
+    """
+    buffer = bytearray()
+    if head.is_chunked():
+        async for frame in _chunked_frames(reader):
+            buffer.extend(frame)
+            for line in wire.split_lines(buffer):
+                yield line
+    else:
+        remaining = head.content_length()
+        if remaining is None:
+            raise WireError(411, "streaming requests need Content-Length or chunked TE")
+        while remaining > 0:
+            data = await reader.read(min(_COPY_BLOCK, remaining))
+            if not data:
+                raise WireError(400, "request body ended before Content-Length")
+            remaining -= len(data)
+            buffer.extend(data)
+            for line in wire.split_lines(buffer):
+                yield line
+    if buffer:  # final line without a trailing newline
+        tail = bytes(buffer)
+        yield tail[:-1] if tail.endswith(b"\r") else tail
+
+
+def _parse_word(line: bytes):
+    try:
+        word = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireError(400, f"invalid NDJSON item: {error}") from None
+    if isinstance(word, str):
+        return word
+    if isinstance(word, list) and all(isinstance(symbol, str) for symbol in word):
+        return word
+    raise WireError(400, "stream items must be strings or lists of symbol strings")
+
+
+def _parse_document_text(line: bytes):
+    try:
+        text = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireError(400, f"invalid NDJSON item: {error}") from None
+    if not isinstance(text, str):
+        raise WireError(400, "stream items must be XML document strings")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Entry points: standalone and prefork-worker
+# ---------------------------------------------------------------------------
+
+async def _serve_async(
+    host: str,
+    port: int,
+    workers: int,
+    snapshot_source: str | None,
+    refresher,
+    auth_token: str | None,
+    autosizer,
+) -> None:
+    service = ValidationService(workers=workers)
+    if autosizer is not None:
+        service.autosizer = autosizer
+        autosizer.start()
+    front = AsyncServiceServer(service, snapshot_source=snapshot_source, auth_token=auth_token)
+    server = await front.start(host, port)
+    bound_host, bound_port = front.address()
+    if refresher is not None:
+        refresher.start()
+    print(
+        f"repro.service (aio) listening on http://{bound_host}:{bound_port} "
+        f"({workers} pool workers) — POST /match, POST /validate (NDJSON streaming), "
+        "GET /stats, GET /snapshot",
+        flush=True,
+    )
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        if refresher is not None:
+            refresher.stop()
+        if autosizer is not None:
+            autosizer.stop()
+        service.close()
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = DEFAULT_WORKERS,
+    snapshot_source: str | None = None,
+    refresher=None,
+    auth_token: str | None = None,
+    autosizer=None,
+) -> None:
+    """Run the asyncio front until interrupted (``--front aio`` body).
+
+    Mirrors :func:`repro.service.http.serve`; *auth_token* turns on the
+    Bearer check, *autosizer* (an
+    :class:`~repro.service.autosize.Autosizer`) runs the cache-sizing
+    loop alongside the server.
+    """
+    try:
+        asyncio.run(
+            _serve_async(host, port, workers, snapshot_source, refresher, auth_token, autosizer)
+        )
+    except KeyboardInterrupt:
+        pass
+
+
+def run_prefork_worker(
+    listen_socket: socket.socket,
+    board: StatsBoard,
+    slot: int,
+    processes: int,
+    workers: int,
+    snapshot_source: str | None = None,
+    snapshot_save: str | None = None,
+    refresh_interval: float = REFRESH_INTERVAL,
+    refresh_min_growth: int = REFRESH_MIN_GROWTH,
+    auth_token: str | None = None,
+    autosizer=None,
+) -> None:
+    """Body of one forked aio worker: an event loop on the inherited socket.
+
+    The prefork parent binds and forks exactly as for the threaded
+    front (:func:`repro.service.prefork.serve_prefork`); each worker
+    runs one event loop whose ``accept()`` the kernel load-balances
+    across the fleet.  Stats publishing and the snapshot refresher work
+    as in the threaded worker — the refresher stays a daemon thread
+    (``save_snapshot`` is blocking CPU+fsync work that must not run on
+    the loop), while the publisher is a loop task.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent coordinates shutdown
+    service = ValidationService(workers=workers)
+    if autosizer is not None:
+        service.autosizer = autosizer
+        autosizer.start()
+    refresher: SnapshotRefresher | None = None
+    if snapshot_save:
+        refresher = SnapshotRefresher(
+            snapshot_save,
+            interval=refresh_interval * (1.0 + 0.1 * slot),
+            min_growth=refresh_min_growth,
+        )
+        refresher.start()
+
+    async def worker() -> None:
+        front = AsyncServiceServer(
+            service,
+            snapshot_source=snapshot_source,
+            auth_token=auth_token,
+            board=board,
+            slot=slot,
+            processes=processes,
+        )
+        server = await front.start(sock=listen_socket)
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        loop.add_signal_handler(signal.SIGTERM, stopping.set)
+
+        async def publish() -> None:
+            while True:
+                board.publish(slot, _worker_summary(service))
+                await asyncio.sleep(PUBLISH_INTERVAL)
+
+        publisher = asyncio.create_task(publish())
+        try:
+            await stopping.wait()
+        finally:
+            publisher.cancel()
+            server.close()
+            await server.wait_closed()
+
+    try:
+        asyncio.run(worker())
+    finally:
+        if refresher is not None:
+            refresher.stop()
+        if autosizer is not None:
+            autosizer.stop()
+        service.close()

@@ -1,0 +1,247 @@
+"""Telemetry-driven cache sizing: /stats history feeds the cache bounds.
+
+The compile cache (:data:`repro.COMPILE_CACHE_SIZE`) and the per-pattern
+:class:`~repro.xml.memo.AcceptanceMemo` bound were fixed constants picked
+for the acceptance workloads.  A serving fleet sees none of that
+uniformity: one deployment churns through thousands of distinct patterns
+(the 512-entry cache thrashes), another validates three schemas forever
+(4096-entry memos per pattern are mostly air).  This module closes the
+loop — the same counters ``GET /stats`` reports drive the bounds:
+
+* **compile cache** — evictions climbing between ticks mean the live
+  working set no longer fits: double the bound (up to
+  :data:`CACHE_CEILING`).  A cache sitting far below its bound with no
+  evictions for :data:`IDLE_TICKS` consecutive ticks halves back toward
+  :data:`CACHE_FLOOR` — a long-lived process stops reserving room for a
+  traffic spike that ended hours ago.
+* **acceptance memos** — per pattern, via
+  :func:`repro.iter_cached_patterns`: a memo that is full *and* still
+  missing is rejecting entries its traffic would reuse (double, up to
+  :data:`MEMO_CEILING`); a mostly-empty memo with no traffic at all for
+  :data:`IDLE_TICKS` ticks halves toward :data:`MEMO_FLOOR`.
+
+Every decision is recorded and reported under the ``"autosize"`` block of
+``GET /stats`` (:meth:`Autosizer.stats`), so operators can see *why* a
+bound moved, not just that it did.  :meth:`Autosizer.sample` is one
+synchronous tick — the unit the tests drive directly; :meth:`start` runs
+it on a background thread, like the snapshot refresher.
+
+Resizes are safe by construction: :func:`repro.resize_compile_cache`
+evicts under the cache's writer lock, and
+:meth:`~repro.xml.memo.AcceptanceMemo.resize` swaps a trimmed dict in
+atomically — verdicts never change, only the cost of recomputing them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from .. import api
+
+#: Seconds between autosizing ticks (the background-thread default).
+AUTOSIZE_INTERVAL = 10.0
+
+#: Compile-cache bounds the policy moves between.  The floor is the boot
+#: default — autosizing never makes the cache smaller than an untuned
+#: process would have had.
+CACHE_FLOOR = api.COMPILE_CACHE_SIZE
+CACHE_CEILING = 8192
+
+#: Acceptance-memo bounds (per pattern).
+MEMO_FLOOR = 256
+MEMO_CEILING = 65536
+
+#: Consecutive idle ticks before a bound shrinks.  Growth reacts in one
+#: tick (thrash is expensive *now*); shrinking waits — a quiet minute
+#: must not throw away a working set the next burst will need.
+IDLE_TICKS = 3
+
+#: Decisions kept for the ``/stats`` history.
+DECISION_LOG = 32
+
+
+class Autosizer:
+    """Feedback loop from service telemetry to cache bounds.
+
+    Attach to a :class:`~repro.service.core.ValidationService` (the
+    constructor registers itself, so the service's :meth:`stats` gains
+    the ``"autosize"`` block), then either :meth:`start` the background
+    thread or drive :meth:`sample` ticks directly (tests, cron).
+    """
+
+    def __init__(
+        self,
+        service=None,
+        interval: float = AUTOSIZE_INTERVAL,
+        cache_floor: int = CACHE_FLOOR,
+        cache_ceiling: int = CACHE_CEILING,
+        memo_floor: int = MEMO_FLOOR,
+        memo_ceiling: int = MEMO_CEILING,
+        idle_ticks: int = IDLE_TICKS,
+    ):
+        if cache_floor < 1 or memo_floor < 1:
+            raise ValueError("autosize floors must be >= 1")
+        if cache_ceiling < cache_floor or memo_ceiling < memo_floor:
+            raise ValueError("autosize ceilings must be >= their floors")
+        self.interval = interval
+        self.cache_floor = cache_floor
+        self.cache_ceiling = cache_ceiling
+        self.memo_floor = memo_floor
+        self.memo_ceiling = memo_ceiling
+        self.idle_ticks = max(1, idle_ticks)
+        self.ticks = 0
+        self.cache_resizes = 0
+        self.memo_resizes = 0
+        self.decisions: deque[dict] = deque(maxlen=DECISION_LOG)
+        self._cache_last = api.cache_stats()
+        self._cache_idle = 0
+        #: per-memo ``(hits+misses, idle ticks)`` keyed by ``id(memo)``;
+        #: entries whose memo left the compile cache are pruned each tick
+        self._memo_seen: dict[int, tuple[int, int]] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        if service is not None:
+            service.autosizer = self
+
+    # -- one tick (the testable unit) ---------------------------------------------------
+    def sample(self) -> list[dict]:
+        """One autosizing tick; returns the decisions it made (possibly [])."""
+        decisions = []
+        decisions.extend(self._sample_compile_cache())
+        decisions.extend(self._sample_memos())
+        self.ticks += 1
+        self.decisions.extend(decisions)
+        return decisions
+
+    def _sample_compile_cache(self) -> list[dict]:
+        stats = api.cache_stats()
+        last, self._cache_last = self._cache_last, stats
+        evicted = stats["evictions"] - last["evictions"]
+        if evicted > 0:
+            self._cache_idle = 0
+            if stats["max_size"] < self.cache_ceiling:
+                target = min(self.cache_ceiling, stats["max_size"] * 2)
+                api.resize_compile_cache(target)
+                self.cache_resizes += 1
+                return [self._decision(
+                    "compile_cache", "grow", stats["max_size"], target,
+                    f"{evicted} evictions since last tick",
+                )]
+            return []
+        # No evictions: the cache fits.  Shrink only a cache that has
+        # been *comfortably* oversized for a while — size under a
+        # quarter of the bound, idle_ticks ticks in a row.
+        if stats["size"] * 4 <= stats["max_size"] and stats["max_size"] > self.cache_floor:
+            self._cache_idle += 1
+            if self._cache_idle >= self.idle_ticks:
+                self._cache_idle = 0
+                target = max(self.cache_floor, stats["max_size"] // 2)
+                api.resize_compile_cache(target)
+                self.cache_resizes += 1
+                return [self._decision(
+                    "compile_cache", "shrink", stats["max_size"], target,
+                    f"{stats['size']} entries under a {stats['max_size']} bound "
+                    f"for {self.idle_ticks} ticks",
+                )]
+        else:
+            self._cache_idle = 0
+        return []
+
+    def _sample_memos(self) -> list[dict]:
+        decisions = []
+        seen: dict[int, tuple[int, int]] = {}
+        for key, pattern in api.iter_cached_patterns():
+            # Peek, never build: a pattern that has done no validation
+            # has no memo, and autosizing must not allocate one.
+            memo = getattr(pattern, "_acceptance_memo", None)
+            if memo is None:
+                continue
+            traffic = memo.hits + memo.misses
+            last_traffic, idle = self._memo_seen.get(id(memo), (traffic, 0))
+            delta = traffic - last_traffic
+            label = key[0] if isinstance(key, tuple) else str(key)
+            if len(memo) >= memo.limit and memo.limit < self.memo_ceiling and delta > 0:
+                # Full and still fielding traffic: entries the bound is
+                # refusing would have been reused.
+                target = min(self.memo_ceiling, memo.limit * 2)
+                previous = memo.resize(target)
+                self.memo_resizes += 1
+                idle = 0
+                decisions.append(self._decision(
+                    "memo", "grow", previous, target,
+                    f"full at {previous} with {delta} probes since last tick",
+                    pattern=label,
+                ))
+            elif delta == 0 and len(memo) * 4 <= memo.limit and memo.limit > self.memo_floor:
+                idle += 1
+                if idle >= self.idle_ticks:
+                    idle = 0
+                    target = max(self.memo_floor, memo.limit // 2)
+                    previous = memo.resize(target)
+                    self.memo_resizes += 1
+                    decisions.append(self._decision(
+                        "memo", "shrink", previous, target,
+                        f"{len(memo)} entries, no probes for {self.idle_ticks} ticks",
+                        pattern=label,
+                    ))
+            else:
+                idle = 0
+            seen[id(memo)] = (traffic, idle)
+        self._memo_seen = seen  # prune memos evicted from the compile cache
+        return decisions
+
+    def _decision(
+        self, target: str, action: str, previous: int, new: int, reason: str, **extra
+    ) -> dict:
+        return {
+            "tick": self.ticks,
+            "target": target,
+            "action": action,
+            "from": previous,
+            "to": new,
+            "reason": reason,
+            **extra,
+        }
+
+    # -- background thread --------------------------------------------------------------
+    def start(self) -> None:
+        """Run :meth:`sample` every :attr:`interval` seconds (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True, name="autosizer")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    # -- telemetry ----------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``"autosize"`` block of ``GET /stats``."""
+        return {
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "running": self._thread is not None,
+            "compile_cache": {
+                "bound": api.cache_stats()["max_size"],
+                "floor": self.cache_floor,
+                "ceiling": self.cache_ceiling,
+                "resizes": self.cache_resizes,
+            },
+            "memos": {
+                "floor": self.memo_floor,
+                "ceiling": self.memo_ceiling,
+                "resizes": self.memo_resizes,
+                "tracked": len(self._memo_seen),
+            },
+            "decisions": list(self.decisions),
+        }

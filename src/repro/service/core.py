@@ -25,13 +25,14 @@ numbers (``in_flight`` included).
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections import OrderedDict, deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from .. import api
 from ..matching.kernel import kernel_stats
@@ -103,6 +104,9 @@ class ValidationService:
         self._patterns: "OrderedDict[str, api.Pattern]" = OrderedDict()
         self._memo_lock = threading.Lock()
         self._closed = False
+        #: attached :class:`~repro.service.autosize.Autosizer`, if any;
+        #: its report is merged into :meth:`stats` under ``"autosize"``
+        self.autosizer = None
 
     # -- lifecycle ----------------------------------------------------------------------
     def close(self) -> None:
@@ -129,6 +133,18 @@ class ValidationService:
         self.close()
 
     # -- request accounting -------------------------------------------------------------
+    def track_request(self):
+        """The request-accounting context manager, for embedding fronts.
+
+        The asyncio front wraps one *streaming* request (which internally
+        dispatches many micro-batches through :meth:`submit`) in a single
+        scope, so ``requests.total`` counts client requests, not batches,
+        and ``in_flight`` reflects open streams.  The scope is a plain
+        sync context manager: entering/leaving only bumps counters under
+        the metrics lock, so holding it across ``await`` points is safe.
+        """
+        return self._request()
+
     @contextmanager
     def _request(self):
         start = time.perf_counter()
@@ -176,6 +192,53 @@ class ValidationService:
             raise
         return results
 
+    def submit(self, work: Callable, *args, **kwargs) -> Future:
+        """Submit one unit of work to the pool (the async tier's leaf call).
+
+        Returns the ``concurrent.futures.Future`` directly.  Work
+        submitted here must never itself wait on the pool — the event
+        loop awaiting a future whose work is *queued behind* other
+        pool-waiting work is the classic thread-pool deadlock, which is
+        why the async entry points below submit leaf closures only.
+        """
+        self._ensure_open()
+        return self._pool.submit(work, *args, **kwargs)
+
+    async def submit_async(self, work: Callable, *args, **kwargs):
+        """Await one unit of pool work without blocking the event loop.
+
+        Cancelling the returned awaitable cancels the pool future: a
+        queued chunk is dropped before it ever runs (a disconnected
+        client stops consuming pool capacity), a running one finishes and
+        its result is discarded.
+        """
+        return await asyncio.wrap_future(self.submit(work, *args, **kwargs))
+
+    async def _map_chunked_async(self, work, items: list, per_item_cost: int = 1):
+        """:meth:`_map_chunked`, awaited: same chunking, no blocked thread.
+
+        The sync path parks the calling thread in ``Future.result()``;
+        here every chunk is awaited through ``asyncio.wrap_future``, so
+        the event loop keeps serving other connections while the pool
+        works.
+        A failed chunk cancels the siblings still queued, mirroring the
+        sync path's poisoned-chunk rule.
+        """
+        chunk = max(1, self.min_chunk // per_item_cost, -(-len(items) // self.workers))
+        if len(items) <= chunk or self.workers == 1:
+            return await self.submit_async(work, items)
+        futures = [
+            asyncio.wrap_future(self._pool.submit(work, items[low : low + chunk]))
+            for low in range(0, len(items), chunk)
+        ]
+        try:
+            chunks = await asyncio.gather(*futures)
+        except BaseException:
+            for pending in futures:
+                pending.cancel()
+            raise
+        return [result for piece in chunks for result in piece]
+
     # -- batch matching -----------------------------------------------------------------
     def match_batch(
         self,
@@ -199,6 +262,27 @@ class ValidationService:
             pattern = api.compile(expr, dialect=dialect)
             self._remember_pattern(pattern, dialect)
             return self._map_chunked(pattern.match_all, list(words))
+
+    async def match_batch_async(
+        self,
+        expr: Regex | str,
+        words: Iterable[str | Sequence[str]],
+        dialect: str = "paper",
+    ) -> list[bool]:
+        """:meth:`match_batch` for event loops — no thread ever blocks.
+
+        The sync path would park the calling thread (for the async front:
+        the *event loop*) in ``Future.result()`` while the pool matches;
+        here the compile (CPU-bound for a cold pattern: parse, determinism
+        test) and every corpus chunk run on the pool while the loop only
+        awaits.  Verdicts are identical to the sync path by construction —
+        both call ``Pattern.match_all`` on the same chunks.
+        """
+        self._ensure_open()
+        with self._request():
+            pattern = await self.submit_async(api.compile, expr, dialect=dialect)
+            self._remember_pattern(pattern, dialect)
+            return await self._map_chunked_async(pattern.match_all, list(words))
 
     # -- document validation ---------------------------------------------------------------
     def validate_documents(
@@ -246,6 +330,25 @@ class ValidationService:
                 return [self._verdict(validator, parse_document(text)) for text in chunk]
 
             return self._map_chunked(verdicts, list(texts), per_item_cost=8)
+
+    async def validate_document_texts_async(
+        self,
+        schema: DTDValidator | XSDSchema | DTD,
+        texts: Sequence[str],
+    ) -> list[DocumentVerdict]:
+        """:meth:`validate_document_texts` for event loops (see above).
+
+        Parsing still happens inside the pool fan-out, chunk by chunk;
+        the loop never parses a document or replays a transition itself.
+        """
+        self._ensure_open()
+        with self._request():
+            validator = DTDValidator(schema) if isinstance(schema, DTD) else schema
+
+            def verdicts(chunk: list) -> list[DocumentVerdict]:
+                return [self._verdict(validator, parse_document(text)) for text in chunk]
+
+            return await self._map_chunked_async(verdicts, list(texts), per_item_cost=8)
 
     @staticmethod
     def _verdict(
@@ -337,7 +440,7 @@ class ValidationService:
             validators = {
                 key: validator.stats() for key, validator in self._validators.items()
             }
-        return {
+        stats = {
             "service": {"workers": self.workers, "closed": self._closed},
             "requests": requests,
             "pattern_cache": api.cache_stats(),
@@ -347,6 +450,10 @@ class ValidationService:
             "kernel": kernel_stats(),
             "snapshot": api.snapshot_stats(),
         }
+        autosizer = self.autosizer
+        if autosizer is not None:
+            stats["autosize"] = autosizer.stats()
+        return stats
 
 
 def _percentile_ms(sorted_latencies: list[float], quantile: float) -> float | None:

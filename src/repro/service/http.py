@@ -42,10 +42,10 @@ from __future__ import annotations
 
 import json
 import os
-import shutil
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..errors import NotDeterministicError, ReproError
+from . import wire
 from .core import DEFAULT_WORKERS, ValidationService
 
 #: Default bind address of ``python -m repro.service``.
@@ -168,7 +168,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         The file is written atomically (temp + ``os.replace``), so the
         handle opened here always streams one *complete* snapshot — a
         concurrent refresh replaces the directory entry but never the
-        bytes under an open descriptor.
+        bytes under an open descriptor.  Responses carry a strong
+        ``ETag`` (:func:`~repro.service.wire.snapshot_etag`) and honour
+        single-byte-range requests with ``If-Range``, so a bootstrapping
+        host can resume an interrupted download — and a resume across a
+        refresh (the tag changed with the inode) falls back to a full
+        200 instead of splicing two snapshot generations together.
         """
         source = getattr(self.server, "snapshot_source", None)
         if not source:
@@ -180,12 +185,42 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, "no snapshot has been persisted yet")
             return
         with handle:
-            size = os.fstat(handle.fileno()).st_size
-            self.send_response(200)
+            stat = os.fstat(handle.fileno())
+            etag = wire.snapshot_etag(stat)
+            size = stat.st_size
+            status, offset, length = 200, 0, size
+            if_range = self.headers.get("If-Range")
+            if if_range is None or if_range == etag:
+                try:
+                    span = wire.parse_range(self.headers.get("Range"), size)
+                except wire.WireError as error:
+                    self.send_response(error.status)
+                    body = json.dumps({"error": str(error)}).encode("utf-8")
+                    self.send_header("Content-Type", "application/json; charset=utf-8")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.send_header("Content-Range", f"bytes */{size}")
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                if span is not None:
+                    offset, length = span
+                    status = 206
+            self.send_response(status)
             self.send_header("Content-Type", "application/octet-stream")
-            self.send_header("Content-Length", str(size))
+            self.send_header("Content-Length", str(length))
+            self.send_header("ETag", etag)
+            self.send_header("Accept-Ranges", "bytes")
+            if status == 206:
+                self.send_header("Content-Range", f"bytes {offset}-{offset + length - 1}/{size}")
             self.end_headers()
-            shutil.copyfileobj(handle, self.wfile, 64 * 1024)
+            handle.seek(offset)
+            remaining = length
+            while remaining > 0:
+                block = handle.read(min(64 * 1024, remaining))
+                if not block:
+                    break
+                self.wfile.write(block)
+                remaining -= len(block)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         handler = {"/match": self._handle_match, "/validate": self._handle_validate}.get(self.path)
@@ -305,19 +340,25 @@ def serve(
     workers: int = DEFAULT_WORKERS,
     snapshot_source: str | None = None,
     refresher=None,
+    autosizer=None,
 ) -> None:
     """Run the service until interrupted (the ``python -m repro.service`` body).
 
     *snapshot_source* enables ``GET /snapshot`` (streaming that file);
     *refresher* is an optional started/stopped object (a
     :class:`~repro.service.prefork.SnapshotRefresher`) re-persisting the
-    snapshot in the background while the server runs.
+    snapshot in the background while the server runs; *autosizer* (a
+    :class:`~repro.service.autosize.Autosizer`) runs the telemetry-driven
+    cache-sizing loop alongside the server.
     """
     service = ValidationService(workers=workers)
     server = ServiceHTTPServer((host, port), service, snapshot_source=snapshot_source)
     bound_host, bound_port = server.server_address[:2]
     if refresher is not None:
         refresher.start()
+    if autosizer is not None:
+        service.autosizer = autosizer
+        autosizer.start()
     # flush so a supervisor (or the CI smoke step) redirecting stdout can
     # read the ephemeral port back before the first request arrives
     print(
@@ -332,5 +373,7 @@ def serve(
     finally:
         if refresher is not None:
             refresher.stop()
+        if autosizer is not None:
+            autosizer.stop()
         server.server_close()
         service.close()

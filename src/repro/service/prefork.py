@@ -235,6 +235,42 @@ class StatsBoard:
         return entries
 
 
+def cluster_payload(board: StatsBoard, processes: int) -> dict:
+    """The fleet-view ``"cluster"`` section of ``GET /stats``.
+
+    Merges every worker's latest :class:`StatsBoard` publication into an
+    aggregate plus the per-process split, excluding stale slots (a dead
+    worker's last summary).  Shared by the threaded and asyncio fronts —
+    whichever worker answers the request reports the same fleet view.
+    """
+    workers = board.read_all()
+    aggregate = {"total": 0, "errors": 0, "in_flight": 0}
+    per_worker = {}
+    live = 0
+    now = time.time()
+    for slot, payload in sorted(workers.items()):
+        # A dead worker's last summary stays in shared memory; use the
+        # timestamp it published to keep stale slots out of the live
+        # count and the aggregate.
+        updated = payload.get("updated_at")
+        stale = not isinstance(updated, (int, float)) or (now - updated > STALE_AFTER)
+        if not stale:
+            live += 1
+            requests = payload.get("requests", {})
+            for key in aggregate:
+                value = requests.get(key)
+                if isinstance(value, (int, float)):
+                    aggregate[key] += value
+        per_worker[str(slot)] = {**payload, "stale": stale}
+    return {
+        "processes": processes,
+        "live_workers": live,
+        "serving_pid": os.getpid(),
+        "aggregate_requests": aggregate,
+        "workers": per_worker,
+    }
+
+
 def describe_preload(source: str, report: dict) -> str:
     """One line summarising a snapshot preload (shared by both fronts)."""
     return (
@@ -302,34 +338,7 @@ class PreforkHTTPServer(ServiceHTTPServer):
     def stats_payload(self) -> dict:
         stats = self.service.stats()
         if self.board is not None:
-            workers = self.board.read_all()
-            aggregate = {"total": 0, "errors": 0, "in_flight": 0}
-            per_worker = {}
-            live = 0
-            now = time.time()
-            for slot, payload in sorted(workers.items()):
-                # A dead worker's last summary stays in shared memory;
-                # use the timestamp it published to keep stale slots out
-                # of the live count and the aggregate.
-                updated = payload.get("updated_at")
-                stale = not isinstance(updated, (int, float)) or (
-                    now - updated > STALE_AFTER
-                )
-                if not stale:
-                    live += 1
-                    requests = payload.get("requests", {})
-                    for key in aggregate:
-                        value = requests.get(key)
-                        if isinstance(value, (int, float)):
-                            aggregate[key] += value
-                per_worker[str(slot)] = {**payload, "stale": stale}
-            stats["cluster"] = {
-                "processes": self.processes,
-                "live_workers": live,
-                "serving_pid": os.getpid(),
-                "aggregate_requests": aggregate,
-                "workers": per_worker,
-            }
+            stats["cluster"] = cluster_payload(self.board, self.processes)
         return stats
 
 
@@ -353,10 +362,42 @@ def _worker_main(
     snapshot_save: str | None = None,
     refresh_interval: float = REFRESH_INTERVAL,
     refresh_min_growth: int = REFRESH_MIN_GROWTH,
+    front: str = "threaded",
+    auth_token: str | None = None,
+    autosize_interval: float | None = None,
 ) -> None:
     """Body of one forked worker; never returns (the caller ``_exit``\\ s)."""
+    autosizer = None
+    if autosize_interval is not None:
+        from .autosize import Autosizer
+
+        autosizer = Autosizer(interval=autosize_interval)
+    if front == "aio":
+        # The asyncio worker front: one event loop per process accepting
+        # on the inherited socket (streaming NDJSON, backpressure,
+        # deadlines — see repro.service.aio).  It owns its own refresher
+        # + publisher wiring, so hand everything over.
+        from .aio import run_prefork_worker
+
+        run_prefork_worker(
+            listen_socket,
+            board,
+            slot,
+            processes,
+            workers,
+            snapshot_source=snapshot_source,
+            snapshot_save=snapshot_save,
+            refresh_interval=refresh_interval,
+            refresh_min_growth=refresh_min_growth,
+            auth_token=auth_token,
+            autosizer=autosizer,
+        )
+        return
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent coordinates shutdown
     service = ValidationService(workers=workers)
+    if autosizer is not None:
+        service.autosizer = autosizer
+        autosizer.start()
     server = PreforkHTTPServer(
         listen_socket, service, board, slot, processes, snapshot_source=snapshot_source
     )
@@ -394,6 +435,8 @@ def _worker_main(
         stop.set()
         if refresher is not None:
             refresher.stop()
+        if autosizer is not None:
+            autosizer.stop()
         server.server_close()
         service.close()
 
@@ -407,6 +450,9 @@ def serve_prefork(
     snapshot_save: str | None = None,
     refresh_interval: float = REFRESH_INTERVAL,
     refresh_min_growth: int = REFRESH_MIN_GROWTH,
+    front: str = "threaded",
+    auth_token: str | None = None,
+    autosize_interval: float | None = None,
 ) -> None:
     """Run the prefork front until interrupted (``--processes N`` body).
 
@@ -415,12 +461,18 @@ def serve_prefork(
     pages copy-on-write.  *snapshot_save* turns on the live lifecycle:
     each worker runs a :class:`SnapshotRefresher` re-persisting that
     path as its materialization grows, and ``GET /snapshot`` streams it
-    to bootstrapping hosts.
+    to bootstrapping hosts.  *front* selects each worker's serving body:
+    ``"threaded"`` (a thread-per-connection HTTP server) or ``"aio"``
+    (one event loop per worker, streaming NDJSON — see
+    :mod:`repro.service.aio`); the process model is identical either
+    way.
     """
     if not hasattr(os, "fork"):
         raise RuntimeError("the prefork front requires os.fork (POSIX)")
     if processes < 1:
         raise ValueError("processes must be >= 1")
+    if front not in ("threaded", "aio"):
+        raise ValueError(f"unknown front {front!r} (expected 'threaded' or 'aio')")
     listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listen.bind((host, port))
@@ -432,7 +484,8 @@ def serve_prefork(
     board = StatsBoard(processes)
     print(
         f"repro.service prefork listening on http://{bound_host}:{bound_port} "
-        f"({processes} processes x {workers} threads) — POST /match, POST /validate, GET /stats",
+        f"({processes} processes x {workers} threads, {front} front) — "
+        "POST /match, POST /validate, GET /stats",
         flush=True,
     )
 
@@ -454,6 +507,9 @@ def serve_prefork(
                     snapshot_save=snapshot_save,
                     refresh_interval=refresh_interval,
                     refresh_min_growth=refresh_min_growth,
+                    front=front,
+                    auth_token=auth_token,
+                    autosize_interval=autosize_interval,
                 )
             finally:
                 os._exit(0)

@@ -78,6 +78,30 @@ class AcceptanceMemo:
         if len(entries) < self.limit or word in entries:
             entries[word] = verdict
 
+    def resize(self, limit: int) -> int:
+        """Change the entry bound; returns the previous bound.
+
+        Growing simply lifts the insertion cap (a memo that stopped
+        accepting entries resumes).  Shrinking evicts insertion-oldest
+        entries beyond the new bound — dicts preserve insertion order,
+        so the survivors are the most recently *stored* sequences, which
+        under the Li et al. working-set observation are the ones still
+        being validated.  The telemetry-driven sizing loop
+        (:mod:`repro.service.autosize`) calls this from a background
+        thread; eviction rebuilds into a fresh dict and swaps it in with
+        one atomic assignment so concurrent readers never see a
+        half-trimmed memo.
+        """
+        if limit < 1:
+            raise ValueError(f"memo limit must be >= 1, got {limit}")
+        previous = self.limit
+        self.limit = limit
+        entries = self._entries
+        if len(entries) > limit:
+            surplus = len(entries) - limit
+            self._entries = dict(list(entries.items())[surplus:])
+        return previous
+
     def accepts(self, runtime, children) -> bool:
         """Memoized whole-sequence membership, via *runtime* on a miss.
 

@@ -1,0 +1,142 @@
+"""Property test: the aio streaming front agrees with the threaded front.
+
+The streaming path reshapes everything — NDJSON lines instead of one JSON
+body, micro-batches through a bounded queue instead of one pool map,
+chunked framing both directions — and none of it may show in a verdict.
+For random deterministic expressions and random corpora, the byte content
+of the streamed verdict lines must decode to exactly the list the
+threaded front returns for the same corpus.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.generators import random_deterministic_expression
+from repro.regex.printer import to_text
+from repro.regex.words import mutate_word, sample_member
+from repro.service.core import ValidationService
+from repro.service.http import ServiceHTTPServer
+from repro.service.aio import AsyncServiceServer
+
+import pytest
+import urllib.request
+
+
+@pytest.fixture(scope="module")
+def fronts():
+    """One threaded front and one aio front over separate services."""
+    threaded_service = ValidationService(workers=4)
+    threaded = ServiceHTTPServer(("127.0.0.1", 0), threaded_service)
+    thread = threading.Thread(target=threaded.serve_forever, daemon=True)
+    thread.start()
+
+    loop = asyncio.new_event_loop()
+    aio_service = ValidationService(workers=4)
+    front = AsyncServiceServer(aio_service)
+    ready = threading.Event()
+    stopping: list[asyncio.Event] = []
+
+    async def boot():
+        stop = asyncio.Event()
+        stopping.append(stop)
+        await front.start("127.0.0.1", 0)
+        ready.set()
+        await stop.wait()
+        await front.close()
+
+    runner = threading.Thread(target=lambda: loop.run_until_complete(boot()), daemon=True)
+    runner.start()
+    ready.wait(timeout=10)
+    try:
+        yield threaded.server_address[1], front.address()[1]
+    finally:
+        threaded.shutdown()
+        loop.call_soon_threadsafe(stopping[0].set)
+        runner.join(timeout=10)
+        loop.close()
+        threaded_service.close()
+        aio_service.close()
+
+
+def _threaded_verdicts(port: int, pattern: str, words: list[str]):
+    body = json.dumps({"pattern": pattern, "words": words, "dialect": "named"}).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/match",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())["verdicts"]
+
+
+def _streamed_verdict_lines(port: int, pattern: str, words: list[str]) -> list[bytes]:
+    """POST an NDJSON stream over a raw socket; return the verdict lines."""
+    import socket
+
+    header = json.dumps({"pattern": pattern, "dialect": "named"})
+    lines = [header] + [json.dumps(word) for word in words]
+    body = ("\n".join(lines) + "\n").encode()
+    head = (
+        f"POST /match HTTP/1.1\r\nHost: t\r\nContent-Type: application/x-ndjson\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode()
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(head + body)
+        raw = bytearray()
+        while True:
+            piece = sock.recv(65536)
+            if not piece:
+                break
+            raw += piece
+    head_end = raw.index(b"\r\n\r\n")
+    status = int(raw[:head_end].split(b" ", 2)[1])
+    assert status == 200, raw[:head_end]
+    # De-chunk the body.
+    payload = bytearray()
+    cursor = head_end + 4
+    while True:
+        size_end = raw.index(b"\r\n", cursor)
+        size = int(raw[cursor:size_end], 16)
+        if size == 0:
+            break
+        payload += raw[size_end + 2 : size_end + 2 + size]
+        cursor = size_end + 2 + size + 2
+    body_lines = bytes(payload).splitlines()
+    trailer = json.loads(body_lines[-1])
+    assert trailer == {"count": len(words), "done": True}
+    return body_lines[1:-1]
+
+
+def _corpus(seed: int, leaf_count: int) -> tuple[str, list[str]]:
+    rng = random.Random(seed)
+    expr = random_deterministic_expression(rng, leaf_count)
+    pattern = to_text(expr, dialect="named")
+    alphabet = sorted({symbol for symbol in pattern if symbol.isalnum()}) or ["a"]
+    words: list[str] = [""]
+    for _ in range(8):
+        member = sample_member(expr, rng)
+        words.append("".join(member))
+        words.append("".join(mutate_word(member, alphabet, rng)))
+        words.append("".join(rng.choice(alphabet) for _ in range(rng.randint(0, 9))))
+    return pattern, words
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=2, max_value=9),
+)
+@settings(max_examples=20, deadline=None)
+def test_streamed_verdicts_match_the_threaded_front(fronts, seed, leaf_count):
+    threaded_port, aio_port = fronts
+    pattern, words = _corpus(seed, leaf_count)
+    expected = _threaded_verdicts(threaded_port, pattern, words)
+    lines = _streamed_verdict_lines(aio_port, pattern, words)
+    # Byte-identical framing: each verdict is exactly the canonical JSON
+    # encoding of the threaded front's verdict, one per line, in order.
+    assert lines == [json.dumps(verdict).encode() for verdict in expected]

@@ -123,3 +123,44 @@ class TestAgreementWithPlainChecker:
         expr = concat(shared, shared)
         checker = NumericDeterminismChecker(expr)
         assert len(checker.positions) == 2
+
+
+class TestFollowEdgeProvenance:
+    """Regression: conflicts between a counter's loop edge and an enclosing
+    iterator's restart edge must be detected.
+
+    ``((d{2,3})+)*`` on ``ddd``: after two d's the inner counter can loop
+    (toward 3) or exit and let the enclosing ``+``/``*`` restart it — both
+    read a d, so the expression is not deterministic.  The checker once
+    collapsed those two follow edges into one (same position pair) and
+    missed the conflict; edges now carry their owning-loop provenance.
+    """
+
+    def test_flexible_counter_under_an_iterator_is_not_deterministic(self):
+        from repro.regex.ast import plus, star
+
+        inner = repeat(sym("d"), 2, 3)
+        assert not is_deterministic_numeric(star(plus(inner)))
+        assert not is_deterministic_numeric(star(inner))
+        assert not is_deterministic_numeric(plus(inner))
+
+    def test_rigid_counter_under_an_iterator_stays_deterministic(self):
+        from repro.regex.ast import plus, star
+
+        assert is_deterministic_numeric(star(repeat(sym("d"), 2, 2)))
+        assert is_deterministic_numeric(star(plus(concat(sym("d"), sym("d")))))
+
+    def test_plain_iterators_keep_their_native_semantics(self):
+        from repro.regex.ast import plus, star
+
+        assert is_deterministic_numeric(star(star(sym("d"))))
+        assert is_deterministic_numeric(plus(plus(sym("d"))))
+        assert is_deterministic_numeric("d{2,3}")
+
+    def test_conflict_report_names_the_symbol(self):
+        from repro.regex.ast import star
+
+        report = check_deterministic_numeric(star(repeat(sym("d"), 2, 3)))
+        assert not report.deterministic
+        assert report.conflict is not None
+        assert report.conflict.first.symbol == report.conflict.second.symbol == "d"
