@@ -252,6 +252,8 @@ class AsyncServiceServer:
             )
             return False
         if head.method == "GET":
+            if not await self._drain_request_body(head, reader, writer):
+                return False
             if head.path == "/stats":
                 await self._send_json(writer, 200, self.stats_payload())
             elif head.path == "/snapshot":
@@ -284,6 +286,48 @@ class AsyncServiceServer:
         if self.board is not None:
             stats["cluster"] = cluster_payload(self.board, self.processes)
         return stats
+
+    async def _drain_request_body(
+        self,
+        head: wire.RequestHead,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Consume a (rare) body on a GET so keep-alive framing survives.
+
+        Without this, the next ``readuntil`` on a reused connection would
+        parse body bytes as a request head and die with a spurious 400.
+        Bodies beyond :data:`MAX_BODY_BYTES` are refused with the
+        connection closed — same bound as every other body path.
+        """
+        drained = 0
+        if head.is_chunked():
+            async for piece in _chunked_frames(reader):
+                drained += len(piece)
+                if drained > MAX_BODY_BYTES:
+                    await self._send_json(
+                        writer,
+                        413,
+                        {"error": f"body exceeds {MAX_BODY_BYTES} bytes"},
+                        close=True,
+                    )
+                    return False
+            return True
+        remaining = head.content_length() or 0
+        if remaining > MAX_BODY_BYTES:
+            await self._send_json(
+                writer,
+                413,
+                {"error": f"body exceeds {MAX_BODY_BYTES} bytes"},
+                close=True,
+            )
+            return False
+        while remaining > 0:
+            data = await reader.read(min(_COPY_BLOCK, remaining))
+            if not data:
+                return False  # body ended early: the connection is dying anyway
+            remaining -= len(data)
+        return True
 
     # -- response plumbing --------------------------------------------------------------
     async def _send_json(
@@ -500,10 +544,23 @@ class AsyncServiceServer:
                     await self._finish_stream_error(writer, str(error))
                 return False
             except NotDeterministicError as error:
-                await self._send_json(writer, 422, {"error": str(error)}, close=True)
+                if not started[0]:
+                    await self._send_json(
+                        writer, 422, {"error": str(error)}, close=True
+                    )
+                else:
+                    await self._finish_stream_error(writer, str(error))
                 return False
             except ReproError as error:
-                await self._send_json(writer, 400, {"error": str(error)}, close=True)
+                # e.g. an XMLSyntaxError from a malformed document parsed
+                # by the pool after verdicts already went out: the error
+                # must surface in-stream, never as a second status line.
+                if not started[0]:
+                    await self._send_json(
+                        writer, 400, {"error": str(error)}, close=True
+                    )
+                else:
+                    await self._finish_stream_error(writer, str(error))
                 return False
         return head.keep_alive()
 
@@ -552,6 +609,10 @@ class AsyncServiceServer:
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_pending)
 
         async def produce() -> None:
+            # The future in hand between submit() and a successful
+            # queue.put(): if the put is cancelled (disconnect, deadline),
+            # the batch would otherwise run to completion unobserved.
+            in_hand: asyncio.Future | None = None
             try:
                 batch: list = []
                 async for line in lines:
@@ -559,12 +620,18 @@ class AsyncServiceServer:
                         continue
                     batch.append(parse_item(line))
                     if len(batch) >= self.stream_batch:
-                        await queue.put(asyncio.wrap_future(self.service.submit(work, batch)))
+                        in_hand = asyncio.wrap_future(self.service.submit(work, batch))
+                        await queue.put(in_hand)
+                        in_hand = None
                         batch = []
                 if batch:
-                    await queue.put(asyncio.wrap_future(self.service.submit(work, batch)))
+                    in_hand = asyncio.wrap_future(self.service.submit(work, batch))
+                    await queue.put(in_hand)
+                    in_hand = None
                 await queue.put(None)
             except asyncio.CancelledError:
+                if in_hand is not None:
+                    in_hand.cancel()
                 raise
             except BaseException as error:  # noqa: BLE001 - relayed to the writer loop
                 await queue.put(error)
@@ -644,15 +711,21 @@ class AsyncServiceServer:
                 writer, 404, {"error": "this server does not serve a snapshot"}
             )
             return head.keep_alive()
-        try:
+        # open()/fstat() touch the filesystem — off the loop, like every
+        # other blocking call on this path.
+        def _open_snapshot():
             handle = open(source, "rb")
+            return handle, os.fstat(handle.fileno())
+
+        loop = asyncio.get_running_loop()
+        try:
+            handle, stat = await loop.run_in_executor(None, _open_snapshot)
         except OSError:
             await self._send_json(
                 writer, 404, {"error": "no snapshot has been persisted yet"}
             )
             return head.keep_alive()
         with handle:
-            stat = os.fstat(handle.fileno())
             etag = wire.snapshot_etag(stat)
             size = stat.st_size
             status, offset, length = 200, 0, size
@@ -705,10 +778,15 @@ class AsyncServiceServer:
             return
         except (NotImplementedError, RuntimeError, AttributeError):
             pass  # SSL transport, exotic platform, or sendfile-less loop
+        # Fallback copy loop: the reads are disk I/O that would stall
+        # every other connection if run on the loop (a large snapshot
+        # over TLS would freeze the server), so they go to the executor.
         handle.seek(offset)
         remaining = length
         while remaining > 0:
-            block = handle.read(min(_COPY_BLOCK, remaining))
+            block = await loop.run_in_executor(
+                None, handle.read, min(_COPY_BLOCK, remaining)
+            )
             if not block:
                 break
             writer.write(block)

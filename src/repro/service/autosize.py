@@ -96,9 +96,12 @@ class Autosizer:
         self.decisions: deque[dict] = deque(maxlen=DECISION_LOG)
         self._cache_last = api.cache_stats()
         self._cache_idle = 0
-        #: per-memo ``(hits+misses, idle ticks)`` keyed by ``id(memo)``;
-        #: entries whose memo left the compile cache are pruned each tick
-        self._memo_seen: dict[int, tuple[int, int]] = {}
+        #: per-memo ``(hits+misses, idle ticks)`` keyed by the compile
+        #: cache's own key — stable across the memo's lifetime, unlike
+        #: ``id()``, which a new memo can reuse after a gc and inherit a
+        #: stale baseline from.  Entries whose pattern left the compile
+        #: cache are pruned each tick.
+        self._memo_seen: dict[tuple, tuple[int, int]] = {}
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         if service is not None:
@@ -150,7 +153,7 @@ class Autosizer:
 
     def _sample_memos(self) -> list[dict]:
         decisions = []
-        seen: dict[int, tuple[int, int]] = {}
+        seen: dict[tuple, tuple[int, int]] = {}
         for key, pattern in api.iter_cached_patterns():
             # Peek, never build: a pattern that has done no validation
             # has no memo, and autosizing must not allocate one.
@@ -158,7 +161,11 @@ class Autosizer:
             if memo is None:
                 continue
             traffic = memo.hits + memo.misses
-            last_traffic, idle = self._memo_seen.get(id(memo), (traffic, 0))
+            last_traffic, idle = self._memo_seen.get(key, (traffic, 0))
+            if traffic < last_traffic:
+                # The pattern was evicted and recompiled under the same
+                # key: a fresh memo, so restart the baseline.
+                last_traffic, idle = traffic, 0
             delta = traffic - last_traffic
             label = key[0] if isinstance(key, tuple) else str(key)
             if len(memo) >= memo.limit and memo.limit < self.memo_ceiling and delta > 0:
@@ -187,7 +194,7 @@ class Autosizer:
                     ))
             else:
                 idle = 0
-            seen[id(memo)] = (traffic, idle)
+            seen[key] = (traffic, idle)
         self._memo_seen = seen  # prune memos evicted from the compile cache
         return decisions
 

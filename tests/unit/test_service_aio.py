@@ -315,6 +315,37 @@ class TestRoutes:
 
         asyncio.run(scenario())
 
+    def test_get_with_a_body_is_drained_for_keep_alive(self):
+        """A GET carrying a body is unusual but legal: the body must be
+        consumed, or the next request on the connection would be parsed
+        out of the leftover body bytes and die with a spurious 400."""
+        async def scenario():
+            async with Front() as front:
+                reader, writer = await _open(front.port)
+                try:
+                    body = b'{"ignored": true}'
+                    writer.write(
+                        _request_bytes(
+                            "GET",
+                            "/healthz",
+                            {"Content-Length": str(len(body))},
+                            body,
+                        )
+                    )
+                    await writer.drain()
+                    status, _, _ = await _read_response(reader)
+                    assert status == 200
+                    # The same connection must still frame correctly.
+                    writer.write(_request_bytes("GET", "/stats", {}))
+                    await writer.drain()
+                    status, _, raw = await _read_response(reader)
+                    assert status == 200
+                    assert "aio" in json.loads(raw)
+                finally:
+                    writer.close()
+
+        asyncio.run(scenario())
+
     def test_keep_alive_carries_sequential_requests(self):
         async def scenario():
             async with Front() as front:
@@ -472,6 +503,34 @@ class TestStreaming:
                 assert status == 200
                 assert verdicts == []
                 assert trailer == {"count": 0, "done": True}
+
+        asyncio.run(scenario())
+
+    def test_mid_stream_parse_error_stays_in_stream(self):
+        """A malformed document after verdicts went out must surface as an
+        in-stream error line — never a second HTTP status head spliced into
+        the chunked body (which would break framing entirely)."""
+        async def scenario():
+            async with Front(stream_batch=2) as front:
+                documents = [VALID_DOC, VALID_DOC, "<a><unclosed", VALID_DOC]
+                # _read_response decodes the chunked framing: a raw
+                # "HTTP/1.1 400" head injected mid-body would blow up the
+                # chunk-size parse and fail the test here.
+                status, _, raw = await _roundtrip(
+                    front.port,
+                    "POST",
+                    "/validate?detail=verdict",
+                    {"Content-Type": "application/x-ndjson"},
+                    _ndjson_body({"dtd": DTD_TEXT}, documents),
+                )
+                assert status == 200  # the head was already out
+                lines = [json.loads(line) for line in raw.splitlines()]
+                assert lines[0] == {"schema": "dtd", "detail": "verdict"}
+                assert lines[1:-1] == [True, True]  # the first batch flowed
+                assert "error" in lines[-1]  # ... then the in-stream error
+                assert all(
+                    not (isinstance(line, dict) and line.get("done")) for line in lines
+                )
 
         asyncio.run(scenario())
 
@@ -896,6 +955,36 @@ class TestAutosizer:
             shrunk = [d for d in decisions if d["target"] == "memo"]
             assert shrunk and shrunk[0]["action"] == "shrink"
             assert memo.limit == 32
+        finally:
+            repro.purge()
+
+    def test_recompiled_pattern_restarts_its_baseline(self):
+        """Tracking is keyed by the compile-cache key: after an eviction
+        and recompile, the fresh memo's lower counters re-baseline instead
+        of inheriting the dead memo's traffic (which a recycled ``id()``
+        used to make possible)."""
+        repro.purge()
+        try:
+            expr = "(g?)(h?)"
+            memo = repro.compile(expr).acceptance_memo()
+            memo.resize(4)
+            for _ in range(10):
+                memo.get(("g",))
+            sizer = self._fresh(memo_floor=2, memo_ceiling=16)
+            sizer.sample()  # baseline: 10 probes
+            repro.purge()
+            fresh_memo = repro.compile(expr).acceptance_memo()  # same cache key
+            fresh_memo.resize(2)
+            fresh_memo.put(("g",), True)
+            fresh_memo.put(("h",), True)
+            # Counter (2) is behind the stale baseline (10): this tick
+            # must quietly re-baseline, not act on a bogus delta.
+            assert not [d for d in sizer.sample() if d["target"] == "memo"]
+            fresh_memo.get(("gh",))  # a miss the bound refused to help with
+            decisions = sizer.sample()
+            grown = [d for d in decisions if d["target"] == "memo"]
+            assert grown and grown[0]["action"] == "grow"
+            assert fresh_memo.limit == 4
         finally:
             repro.purge()
 
