@@ -56,7 +56,7 @@ def main() -> None:
     # schema validator does millions of times) returns the same warm Pattern,
     # memoized transition rows included.  repro.purge() drops the cache.
     again = repro.compile("(ab+b(b?)a)*")
-    print("compile cache reuses pattern:", again is e1, repro.cache_stats())
+    print("compile cache reuses pattern:", again is e1, repro.stats()["pattern_cache"])
 
     # --- structural summary ------------------------------------------------------------
     print("summary of e1:", e1.describe())

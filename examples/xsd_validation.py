@@ -74,8 +74,13 @@ def main() -> None:
     documents = [make_document(40, seed=seed) for seed in range(25)]
     documents.append(make_document(40, break_last=True))
     verdicts = [schema.validate_element(document) for document in documents]
+    valid = sum(1 for verdict in verdicts if verdict)
     print(f"\nValidated {len(documents)} documents: "
-          f"{sum(verdicts)} valid, {verdicts.count(False)} invalid (the corrupted one)")
+          f"{valid} valid, {len(verdicts) - valid} invalid (the corrupted one)")
+    for verdict in verdicts:
+        for violation in verdict:  # ValidationResult is list-like over violations
+            print(f"  violation: {violation.describe()}")
+            print(f"    child_index={violation.child_index} expected={violation.expected}")
 
     # --- 3. telemetry: what did that traffic cost? -------------------------------
     totals = schema.stats()["totals"]
@@ -83,7 +88,7 @@ def main() -> None:
     for key, value in totals.items():
         print(f"  {key:22}: {value}")
 
-    cache = repro.cache_stats()
+    cache = repro.stats()["pattern_cache"]
     print("\nCompile cache (process-wide, shared with any other validator):")
     for key, value in cache.items():
         print(f"  {key:22}: {value}")

@@ -40,12 +40,15 @@ from .api import (
     resize_compile_cache,
     save_snapshot,
     snapshot_stats,
+    stats,
 )
 from .core.determinism import DeterminismConflict, DeterminismReport
 from .core.follow import FollowIndex
 from .core.numeric import NumericDeterminismReport
+from .diagnostics import MatchResult, Repair, ValidationResult
 from .errors import (
     AlphabetError,
+    DiagnosticsError,
     DTDSyntaxError,
     InvalidExpressionError,
     LexError,
@@ -68,18 +71,22 @@ __all__ = [
     "DTDSyntaxError",
     "DeterminismConflict",
     "DeterminismReport",
+    "DiagnosticsError",
     "FollowIndex",
     "InvalidExpressionError",
     "LexError",
     "Lexer",
+    "MatchResult",
     "NotDeterministicError",
     "NumericDeterminismReport",
     "Pattern",
     "Regex",
+    "Repair",
     "Token",
     "RegexSyntaxError",
     "ReproError",
     "ValidationError",
+    "ValidationResult",
     "XMLSyntaxError",
     "__version__",
     "build_matcher",
@@ -99,5 +106,6 @@ __all__ = [
     "resize_compile_cache",
     "save_snapshot",
     "snapshot_stats",
+    "stats",
     "to_text",
 ]

@@ -11,12 +11,23 @@ standard library's ``re`` module:
 >>> pattern = repro.compile("(ab+b(b?)a)*")
 >>> pattern.is_deterministic
 True
->>> pattern.match("abba")
+>>> bool(pattern.match("abba"))
 True
->>> pattern.match(["a", "b"])       # words may be symbol lists (XML names)
+>>> bool(pattern.match(["a", "b"]))  # words may be symbol lists (XML names)
 True
 >>> repro.is_deterministic("(a*ba+bb)*")
 False
+
+``match`` returns a :class:`~repro.diagnostics.MatchResult` — truthy or
+falsy exactly like the old ``bool``, but on failure it knows *where* and
+*why* (the expected-next set is read off the paper's follow sets at the
+stuck position, see :mod:`repro.diagnostics`):
+
+>>> result = pattern.match("abb")
+>>> bool(result)
+False
+>>> result.error_index, result.expected
+(3, ('a', 'b'))
 
 Matching runs on the *compiled runtime* by default: the selected Section-4
 matcher is lowered on the fly into integer transition rows
@@ -33,12 +44,10 @@ observation) hit a warm pattern:
 >>> pattern = repro.compile("(ab+b(b?)a)*")     # cached by (expr, dialect, ...)
 >>> pattern.match_all(["abba", "bba", "bb"])
 [True, True, False]
->>> stats = pattern.cache_stats()               # telemetry, see below
->>> sorted(stats)
-['pattern_cache', 'runtime']
->>> stats["runtime"]["transitions_memoized"] == stats["runtime"]["misses"]
+>>> stats = pattern.stats()                     # runtime telemetry, see below
+>>> stats["transitions_memoized"] == stats["misses"]
 True
->>> sorted(stats["pattern_cache"])
+>>> sorted(repro.stats()["pattern_cache"])      # process-wide namespace
 ['evictions', 'hits', 'max_size', 'misses', 'size']
 >>> repro.purge()                               # drop the caches
 
@@ -55,11 +64,13 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Callable, Iterable, Sequence
 
 from .core.determinism import DeterminismReport, check_deterministic
 from .core.numeric import NumericDeterminismReport, check_deterministic_numeric
+from .diagnostics import MatchResult
 from .errors import NotDeterministicError, ReproError
 from .matching.base import DeterministicMatcher, MatchRun
 from .matching.dispatch import build_matcher
@@ -210,13 +221,26 @@ class Pattern:
                     self._runtime = runtime
         return runtime
 
-    def match(self, word: str | Sequence[str]) -> bool:
-        """True when *word* (a string or a sequence of symbols) is in the language."""
-        if self._compiled:
-            return self.runtime.accepts(parse_word(word))
-        return self.matcher.accepts(parse_word(word))
+    def match(self, word: str | Sequence[str]) -> MatchResult:
+        """Match *word* (a string or a sequence of symbols) against the language.
 
-    def match_all(self, words: Iterable[str | Sequence[str]]) -> list[bool]:
+        Returns a :class:`~repro.diagnostics.MatchResult`: truthy/falsy
+        like the old ``bool`` (and ``== True`` / ``== False`` still
+        hold), with lazy diagnostics — ``error_index``, ``expected``,
+        ``repairs``, the witness ``trace`` — computed by replaying the
+        word only when first accessed.  The verdict itself runs the same
+        hot path as before.
+        """
+        symbols = parse_word(word)
+        if self._compiled:
+            matched = self.runtime.accepts(symbols)
+        else:
+            matched = self.matcher.accepts(symbols)
+        return MatchResult(matched, symbols, pattern=self)
+
+    def match_all(
+        self, words: Iterable[str | Sequence[str]], detail: str = "verdict"
+    ) -> list[bool] | list[MatchResult]:
         """Match several words in one batch.
 
         Each word is parsed and integer-encoded exactly once.  Star-free
@@ -236,9 +260,21 @@ class Pattern:
         to the direct path — one :meth:`match` per word on the uncompiled
         matcher — which keeps the per-symbol structure queries observable
         (that is what the benchmarks compare against).
+
+        *detail* selects the result shape: ``"verdict"`` (default) keeps
+        the historical ``list[bool]`` and the untraced kernel hot path;
+        ``"full"`` returns one :class:`~repro.diagnostics.MatchResult`
+        per word — kernel fallback (byte-2) words route their replay
+        through a :class:`~repro.diagnostics.TraceRecorder`, so the
+        witness they were paying for anyway is kept, and every other
+        word diagnoses lazily on field access.
         """
+        if detail not in ("verdict", "full"):
+            raise ValueError(f"unknown detail level {detail!r}: expected 'verdict' or 'full'")
+        if detail == "full":
+            return self._match_all_full(words)
         if not self._compiled:
-            return [self.match(word) for word in words]
+            return [bool(self.match(word)) for word in words]
         multi = self._batch_matcher()
         if multi is not None:
             encoded = self.tree.alphabet.encode_many(parse_word(word) for word in words)
@@ -259,6 +295,44 @@ class Pattern:
                 return verdicts
         accepts_encoded = runtime.accepts_encoded
         return [accepts_encoded(runtime.encode(word)) for word in parsed]
+
+    def _match_all_full(self, words: Iterable[str | Sequence[str]]) -> list[MatchResult]:
+        """The ``detail="full"`` batch path: one lazy MatchResult per word.
+
+        Compiled batches still run the kernel scan; byte-2 fallback words
+        replay through a :class:`~repro.diagnostics.TraceRecorder` (the
+        kernel's ``replay`` hook), so their recorded traces seed the
+        results and no prefix is walked twice.
+        """
+        from . import diagnostics
+        from .matching import kernel
+
+        parsed = [parse_word(word) for word in words]
+        if not self._compiled:
+            matcher = self.matcher
+            return [MatchResult(matcher.accepts(word), word, pattern=self) for word in parsed]
+        runtime = self.runtime
+        if len(parsed) >= kernel.MIN_BATCH or runtime._kernel_programs:
+            recorder = diagnostics.TraceRecorder(runtime)
+            result = kernel.match_words(runtime, parsed, replay=recorder)
+            if result is not None:
+                verdicts, kernel_words, fallback_words = result
+                with self._init_lock:
+                    self._kernel_words += kernel_words
+                    self._kernel_fallback_words += fallback_words
+                results = []
+                for word, verdict in zip(parsed, verdicts):
+                    seed = recorder.traces.get(tuple(runtime.encode(word)))
+                    diagnosis = None
+                    if seed is not None:
+                        diagnosis = diagnostics.complete_from_trace(self, word, seed[0], seed[1])
+                    results.append(MatchResult(verdict, word, pattern=self, diagnosis=diagnosis))
+                return results
+        accepts_encoded = runtime.accepts_encoded
+        return [
+            MatchResult(accepts_encoded(runtime.encode(word)), word, pattern=self)
+            for word in parsed
+        ]
 
     def _batch_matcher(self):
         """The star-free multi-matcher for batch calls, or ``None``.
@@ -385,7 +459,7 @@ class Pattern:
             return None
         return multi
 
-    def runtime_stats(self) -> dict[str, int] | None:
+    def stats(self) -> dict[str, int] | None:
         """Lazy-DFA materialization stats, or ``None`` before any matching.
 
         On top of :meth:`CompiledRuntime.stats` (which includes
@@ -393,7 +467,9 @@ class Pattern:
         pattern adds its own batch-kernel traffic split:
         ``kernel_words`` answered by table scans versus
         ``kernel_fallback_words`` that replayed per-word while the rows
-        were still materializing.
+        were still materializing.  Process-wide telemetry (compile cache,
+        snapshots, kernel counters) lives in the module-level
+        :func:`stats` namespace.
         """
         runtime = self._built_runtime()
         if runtime is None:
@@ -403,15 +479,30 @@ class Pattern:
         stats["kernel_fallback_words"] = self._kernel_fallback_words
         return stats
 
-    def cache_stats(self) -> dict[str, dict[str, int] | None]:
-        """Combined telemetry: the compile cache plus this pattern's runtime.
+    def runtime_stats(self) -> dict[str, int] | None:
+        """Deprecated pre-PR-9 name for :meth:`stats`."""
+        warnings.warn(
+            "Pattern.runtime_stats() is deprecated; use Pattern.stats()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats()
 
-        ``"pattern_cache"`` holds the module-level :func:`cache_stats`
-        counters (hits/misses/evictions/size); ``"runtime"`` holds
-        :meth:`runtime_stats` — transition rows memoized, dense rows,
-        shared rows — or ``None`` if the runtime has not been exercised.
+    def cache_stats(self) -> dict[str, dict[str, int] | None]:
+        """Deprecated combined view; use :func:`repro.stats` + :meth:`stats`.
+
+        Returns the historical shape — ``"pattern_cache"`` holding the
+        compile-cache counters and ``"runtime"`` holding this pattern's
+        :meth:`stats` — while warning, so dashboards migrate at their own
+        pace.
         """
-        return {"pattern_cache": cache_stats(), "runtime": self.runtime_stats()}
+        warnings.warn(
+            "Pattern.cache_stats() is deprecated; use repro.stats()['pattern_cache'] "
+            "and Pattern.stats()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {"pattern_cache": _cache_stats(), "runtime": self.stats()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         verdict = "deterministic" if self.is_deterministic else "non-deterministic"
@@ -614,7 +705,7 @@ def resize_compile_cache(maxsize: int) -> int:
 
     >>> import repro
     >>> previous = repro.resize_compile_cache(1024)
-    >>> repro.cache_stats()["max_size"]
+    >>> repro.stats()["pattern_cache"]["max_size"]
     1024
     >>> _ = repro.resize_compile_cache(previous)
     """
@@ -632,7 +723,7 @@ def iter_cached_patterns() -> list[tuple[tuple, "Pattern"]]:
     return _CACHE.items()
 
 
-def cache_stats() -> dict[str, int]:
+def _cache_stats() -> dict[str, int]:
     """Hit/miss/eviction counters of the compile cache (tests and telemetry).
 
     ``evictions`` is derived: every successful construction inserts one
@@ -645,7 +736,21 @@ def cache_stats() -> dict[str, int]:
     number is the signal to raise :data:`COMPILE_CACHE_SIZE` — see
     ``examples/xsd_validation.py`` for reading these under a real
     validation workload.
+
+    This is the internal, warning-free entry point; the public surface
+    is ``repro.stats()["pattern_cache"]`` (:func:`cache_stats` is its
+    deprecated alias).
     """
+    return _CACHE.stats()
+
+
+def cache_stats() -> dict[str, int]:
+    """Deprecated pre-PR-9 name; use ``repro.stats()["pattern_cache"]``."""
+    warnings.warn(
+        "repro.cache_stats() is deprecated; use repro.stats()['pattern_cache']",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _CACHE.stats()
 
 
@@ -1125,7 +1230,7 @@ def _materialization() -> dict:
     }
 
 
-def snapshot_stats() -> dict:
+def _snapshot_stats() -> dict:
     """Process-wide snapshot telemetry (saves, loads, adoption, rejects).
 
     ``snapshot_rejected`` counts every validation failure — whole files,
@@ -1140,12 +1245,60 @@ def snapshot_stats() -> dict:
     (:class:`repro.service.prefork.SnapshotRefresher`) watches its
     ``total``.  Merged into the validation service's ``GET /stats``
     under ``"snapshot"``.
+
+    This is the internal, warning-free entry point; the public surface
+    is ``repro.stats()["snapshot"]`` (:func:`snapshot_stats` is its
+    deprecated alias).
     """
     return {**_SNAPSHOT_TELEMETRY.stats(), "materialized": _materialization()}
 
 
-def match(expr: Regex | str, word: str | Sequence[str], dialect: str = "paper") -> bool:
-    """One-shot matching: compile *expr* (through the cache) and match *word*."""
+def snapshot_stats() -> dict:
+    """Deprecated pre-PR-9 name; use ``repro.stats()["snapshot"]``."""
+    warnings.warn(
+        "repro.snapshot_stats() is deprecated; use repro.stats()['snapshot']",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _snapshot_stats()
+
+
+def stats() -> dict:
+    """The consolidated process-wide telemetry namespace.
+
+    One call, one dict, three sections (each previously its own scattered
+    entry point):
+
+    * ``"pattern_cache"`` — compile-cache hit/miss/eviction counters
+      (was :func:`cache_stats`);
+    * ``"snapshot"`` — snapshot save/load/adoption telemetry plus the
+      ``materialized`` gauge (was :func:`snapshot_stats`);
+    * ``"kernel"`` — batch-kernel counters and backend selection (was
+      ``repro.matching.kernel.kernel_stats``).
+
+    Per-object telemetry keeps living on the objects themselves with the
+    same spelling: ``Pattern.stats()``, ``CompiledRuntime.stats()``,
+    ``DTDValidator.stats()``, ``XSDSchema.stats()``,
+    ``ValidationService.stats()``.
+    """
+    from .matching import kernel
+
+    return {
+        "pattern_cache": _CACHE.stats(),
+        "snapshot": _snapshot_stats(),
+        "kernel": kernel.stats(),
+    }
+
+
+def match(
+    expr: Regex | str, word: str | Sequence[str], dialect: str = "paper"
+) -> MatchResult:
+    """One-shot matching: compile *expr* (through the cache) and match *word*.
+
+    Returns the same :class:`~repro.diagnostics.MatchResult` as
+    :meth:`Pattern.match` — truthy/falsy like the old ``bool``, with lazy
+    witness/diagnosis fields.
+    """
     return compile(expr, dialect=dialect).match(word)
 
 
@@ -1172,6 +1325,7 @@ __all__ = [
     "COMPILE_CACHE_SIZE",
     "CompiledRuntime",
     "DeterminismReport",
+    "MatchResult",
     "NumericDeterminismReport",
     "Pattern",
     "cache_stats",
@@ -1187,4 +1341,5 @@ __all__ = [
     "resize_compile_cache",
     "save_snapshot",
     "snapshot_stats",
+    "stats",
 ]

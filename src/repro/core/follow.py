@@ -99,6 +99,32 @@ class FollowIndex:
         """
         return q is not None and self.follows(p, q)
 
+    # -- expected-next sets (diagnostics) -----------------------------------------------
+    def next_positions(self, position: TreeNode) -> list[TreeNode]:
+        """The non-sentinel positions that may follow *position*, left to right.
+
+        A linear scan of the position list with the O(1) ``follows`` test;
+        this is the diagnostic counterpart of the matchers' constant-time
+        probes and is only used off the hot path (error reporting).
+        """
+        tree = self.tree
+        start, end = tree.start, tree.end
+        return [
+            q
+            for q in tree.positions
+            if q is not start and q is not end and self.follows(position, q)
+        ]
+
+    def next_symbols(self, position: TreeNode) -> tuple[str, ...]:
+        """Sorted symbols that may follow *position* — the expected-next set.
+
+        Every Glushkov position is both accessible and co-accessible (the
+        normalised trees contain no empty-language construct), so this is
+        exactly the set of symbols extending some viable continuation at
+        *position*.
+        """
+        return tuple(sorted({q.symbol for q in self.next_positions(position)}))
+
     # -- acceptance helper --------------------------------------------------------------
     def accepts_at(self, position: TreeNode) -> bool:
         """True when the expression may end right after *position*.

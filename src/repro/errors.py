@@ -2,8 +2,36 @@
 
 All exceptions raised by the library derive from :class:`ReproError`, so
 callers can catch a single base class.  The hierarchy mirrors the main
-stages of the pipeline: parsing text syntax, building/normalising parse
-trees, checking determinism, matching words, and validating XML documents.
+stages of the pipeline, one subtree per stage:
+
+Syntax errors — rejecting the *input text* before any algorithm runs:
+
+* :class:`RegexSyntaxError` — textual expression cannot be parsed.
+* :class:`XMLSyntaxError` — malformed XML document.
+* :class:`DTDSyntaxError` — malformed DTD declaration or content model.
+
+Structural errors — the input parsed but violates a requirement of the
+paper's algorithms:
+
+* :class:`InvalidExpressionError` — AST/parse-tree invariant broken
+  (e.g. numeric repetition with ``low > high``).
+* :class:`NotDeterministicError` — a Section 4 matcher was requested for
+  an expression that is not one-unambiguous; carries the
+  :class:`~repro.core.determinism.DeterminismReport` explaining the
+  conflict.
+* :class:`AlphabetError` — strict APIs reject symbols outside the
+  expression alphabet.
+
+Runtime errors — raised while consuming input with a correct machine:
+
+* :class:`LexError` — bad lexer rule sets, or stuck input; stuck-input
+  errors carry the offset, the expected next symbols and the rule tags
+  still viable at that offset (the same Section 4 expected-next sets
+  that power :mod:`repro.diagnostics`).
+* :class:`DiagnosticsError` — the witness/diagnosis layer was asked for
+  something it cannot provide (tracing an uncompiled pattern) or its
+  replay disagreed with the recorded verdict (an internal invariant).
+* :class:`ValidationError` — structural problems while validating XML.
 """
 
 from __future__ import annotations
@@ -66,12 +94,22 @@ class LexError(ReproError):
     Bad rule sets: a nullable rule (it would match the empty word and the
     scanner could not advance) or more rules than the tag table can hold.
     Stuck input: a position where no rule matches any prefix; ``position``
-    carries the character offset for error reporting.
+    carries the character offset, ``expected`` the symbols that would have
+    let the scanner advance (the Section 4 expected-next set at the stuck
+    state), and ``tags`` the names of the rules those symbols belong to.
     """
 
-    def __init__(self, message: str, position: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        expected: tuple[str, ...] = (),
+        tags: tuple[str, ...] = (),
+    ):
         super().__init__(message)
         self.position = position
+        self.expected = expected
+        self.tags = tags
 
 
 class AlphabetError(ReproError):
@@ -104,3 +142,14 @@ class XMLSyntaxError(ReproError):
 
 class DTDSyntaxError(ReproError):
     """Raised when a DTD declaration or content model cannot be parsed."""
+
+
+class DiagnosticsError(ReproError):
+    """Raised by :mod:`repro.diagnostics` for unsatisfiable requests.
+
+    Two cases: tracing was requested where it cannot be provided (e.g.
+    ``Pattern.stream(trace=True)`` on an uncompiled pattern), or a
+    diagnostic replay produced a verdict that contradicts the recorded
+    one — the latter indicates an internal invariant violation and should
+    be reported as a bug.
+    """

@@ -196,14 +196,56 @@ class Lexer:
         while at < length:
             end, tag = kernel.longest_match(program, tags, encoded, at)
             if end < 0:
-                raise LexError(
-                    f"no rule matches at position {at}: {text[at:at + 12]!r}",
-                    position=at,
-                )
+                raise self._stuck_error(text, encoded, at)
             name = names[tag - 1]
             if name not in skip:
                 yield Token(name, text[at:end], at, end)
             at = end
+
+    def _stuck_error(self, text: str, encoded, at: int) -> LexError:
+        """Diagnose a stuck scan into a :class:`LexError` with expectations.
+
+        Replays from the stuck position to the exact offset where the
+        machine died, then reads the expected-next set off the Section 4
+        follow sets at that state (the union is deterministic, so the
+        follow-based set is exact — the same machinery
+        :mod:`repro.diagnostics` uses) and maps the viable next positions
+        back to their rules for the candidate token tags.
+        """
+        runtime = self.pattern.runtime
+        state = runtime._start_state
+        offset, length = at, len(encoded)
+        while offset < length:
+            code = encoded[offset]
+            if code >= self._program.width:
+                break
+            target = runtime.step(state, code)
+            if target < 0:
+                break
+            state = target
+            offset += 1
+        viable = self.pattern.matcher.follow.next_positions(runtime._positions[state])
+        expected = tuple(sorted({node.symbol for node in viable}))
+        tag_indices = {
+            self._tag_by_state[node.position_index]
+            for node in viable
+            if node.position_index in self._tag_by_state
+        }
+        rule_tags = tuple(self.tags[index] for index in sorted(tag_indices))
+        detail = ""
+        if expected:
+            shown = ", ".join(repr(symbol) for symbol in expected[:8])
+            detail = f"; expected one of [{shown}]"
+            if rule_tags:
+                detail += f" (rules: {', '.join(rule_tags)})"
+            if offset > at:
+                detail += f" after {offset - at} matched symbol(s)"
+        return LexError(
+            f"no rule matches at position {at}: {text[at:at + 12]!r}{detail}",
+            position=at,
+            expected=expected,
+            tags=rule_tags,
+        )
 
     def tokenize(self, text: str) -> list[Token]:
         """:meth:`tokens`, collected into a list."""

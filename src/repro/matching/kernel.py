@@ -66,6 +66,7 @@ import ctypes
 import os
 import subprocess
 import threading
+import warnings
 from array import array
 from typing import Iterable, Sequence
 
@@ -112,7 +113,7 @@ _STATS = {
 }
 
 
-def kernel_stats() -> dict:
+def stats() -> dict:
     """Process-wide kernel telemetry (``GET /stats`` serves this).
 
     ``programs_built`` counts flat-table compilations (rebuilds after a
@@ -123,12 +124,23 @@ def kernel_stats() -> dict:
     even when the native library is unavailable).
     """
     with _STATS_LOCK:
-        stats: dict = dict(_STATS)
+        snapshot: dict = dict(_STATS)
     requested = requested_backend()
-    stats["requested"] = requested
-    stats["native_available"] = native_library() is not None
-    stats["backend"] = _effective_backend(requested)
-    return stats
+    snapshot["requested"] = requested
+    snapshot["native_available"] = native_library() is not None
+    snapshot["backend"] = _effective_backend(requested)
+    return snapshot
+
+
+def kernel_stats() -> dict:
+    """Deprecated pre-PR-9 name for :func:`stats` (use ``repro.stats()``)."""
+    warnings.warn(
+        "kernel_stats() is deprecated; use repro.matching.kernel.stats() "
+        "or the consolidated repro.stats()['kernel'] namespace",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return stats()
 
 
 def reset_kernel_stats() -> None:
@@ -546,7 +558,7 @@ def build_program(
 # -- batch driver ------------------------------------------------------------------------
 
 
-def match_corpus(runtime, program: KernelProgram, corpus: KernelCorpus):
+def match_corpus(runtime, program: KernelProgram, corpus: KernelCorpus, replay=None):
     """Run *corpus* through *program*; returns ``(verdicts, kernel, fallback)``.
 
     ``verdicts`` is one bool per corpus word (original order and
@@ -554,11 +566,18 @@ def match_corpus(runtime, program: KernelProgram, corpus: KernelCorpus):
     through ``runtime.accepts_encoded`` — filling the missing rows, so
     repeated corpora converge to the all-kernel path — and are counted in
     ``fallback`` (by corpus multiplicity; ``kernel`` counts the rest).
+
+    *replay* substitutes the fallback driver: any callable taking an
+    encoded word and returning the boolean verdict.  The diagnostics
+    layer passes a :class:`repro.diagnostics.TraceRecorder` here so
+    byte-2 words route through the tracing path and their witnesses come
+    out of the replay they were paying for anyway; the default (and the
+    kernel verdict path) is unchanged.
     """
     raw_verdicts = program.scan(corpus)
     resolved: list[bool] = []
     fallback_slots = 0
-    accepts_encoded = runtime.accepts_encoded
+    accepts_encoded = runtime.accepts_encoded if replay is None else replay
     for slot, verdict in enumerate(raw_verdicts):
         if verdict == VERDICT_FALLBACK:
             fallback_slots += 1
@@ -576,18 +595,19 @@ def match_corpus(runtime, program: KernelProgram, corpus: KernelCorpus):
     return verdicts, kernel_count, fallback
 
 
-def match_words(runtime, words: Sequence[Sequence[str]]):
+def match_words(runtime, words: Sequence[Sequence[str]], replay=None):
     """One-call batch driver: program export, corpus encode, scan, fallback.
 
     Returns ``(verdicts, kernel_words, fallback_words)`` or ``None`` when
     the runtime's machine exceeds :data:`TABLE_LIMIT` (callers keep their
-    per-word driver for that case).
+    per-word driver for that case).  *replay* is forwarded to
+    :func:`match_corpus`.
     """
     program = runtime.export_kernel_program()
     if program is None:
         return None
     corpus = program.encode_corpus(words)
-    return match_corpus(runtime, program, corpus)
+    return match_corpus(runtime, program, corpus, replay=replay)
 
 
 # -- tagged longest-match scanning (the Lexer workload) ----------------------------------

@@ -185,7 +185,7 @@ class CompiledRuntime:
     or, once the state's row has densified (see :func:`densify_threshold`),
     a C-level array index.  ``stats()`` exposes how much of the machine has
     been materialized, which the cache-reuse tests, the telemetry surfaces
-    (``Pattern.cache_stats``, ``XSDSchema.stats``) and the benchmarks
+    (``Pattern.stats``, ``XSDSchema.stats``) and the benchmarks
     inspect.
     """
 
@@ -403,8 +403,16 @@ class CompiledRuntime:
         return [accepts_encoded(encode(word)) for word in words]
 
     # -- streaming ---------------------------------------------------------------------
-    def start(self) -> "CompiledRun":
-        """Begin a streaming run (mirrors :meth:`DeterministicMatcher.start`)."""
+    def start(self, trace: bool = False) -> "CompiledRun":
+        """Begin a streaming run (mirrors :meth:`DeterministicMatcher.start`).
+
+        With ``trace=True`` the run is a :class:`TracedRun` recording the
+        state sequence it visits — the match witness consumed by
+        :mod:`repro.diagnostics`.  Tracing is opt-in per run; the plain
+        run type and its feed loops are untouched.
+        """
+        if trace:
+            return TracedRun(self)
         return CompiledRun(self)
 
     # -- snapshot export / adoption ------------------------------------------------------
@@ -679,6 +687,39 @@ class CompiledRun:
     def is_accepting(self) -> bool:
         """True when the symbols consumed so far form a member of the language."""
         return self.alive and self.runtime.state_accepts(self.state)
+
+
+class TracedRun(CompiledRun):
+    """A streaming run that records the state trace it visits.
+
+    ``trace[i]`` is the state (position index) after consuming ``i``
+    symbols; ``trace[0]`` is the start sentinel.  Determinism makes the
+    trace the *unique* parse of the consumed prefix — the match witness.
+    The recording costs one list append per symbol, which is why it lives
+    in a subclass: ``start()`` without ``trace=True`` never pays it.
+    """
+
+    __slots__ = ("trace",)
+
+    def __init__(self, runtime: CompiledRuntime):
+        super().__init__(runtime)
+        self.trace: list[int] = [self.state]
+
+    def feed(self, symbol: str) -> bool:
+        if CompiledRun.feed(self, symbol):
+            self.trace.append(self.state)
+            return True
+        return False
+
+    def feed_all(self, word: Iterable[str]) -> bool:
+        if not self.alive:
+            return False
+        append = self.trace.append
+        for symbol in word:
+            if not CompiledRun.feed(self, symbol):
+                return False
+            append(self.state)
+        return True
 
 
 def compile_runtime(matcher: DeterministicMatcher) -> CompiledRuntime:

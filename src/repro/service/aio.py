@@ -359,7 +359,10 @@ class AsyncServiceServer:
                 writer, 404, {"error": f"no such endpoint: {head.path}"}, close=True
             )
             return False
-        detail = wire.negotiate_detail(head.headers, head.query)
+        # Match endpoints default to the historical bare booleans; validate
+        # keeps full violation detail — same defaults as the threaded front.
+        default = "verdict" if head.path == "/match" else "full"
+        detail = wire.negotiate_detail(head.headers, head.query, default=default)
         deadline = _deadline_seconds(head)
         if head.wants_ndjson():
             return await self._handle_stream(head, reader, writer, detail, deadline)
@@ -409,7 +412,7 @@ class AsyncServiceServer:
         try:
             async with asyncio.timeout(deadline):
                 if head.path == "/match":
-                    status, body = await self._match_buffered(payload)
+                    status, body = await self._match_buffered(payload, detail)
                 else:
                     status, body = await self._validate_buffered(payload, detail)
         except TimeoutError:
@@ -425,7 +428,7 @@ class AsyncServiceServer:
         await self._send_json(writer, status, body)
         return head.keep_alive()
 
-    async def _match_buffered(self, payload: dict) -> tuple[int, dict]:
+    async def _match_buffered(self, payload: dict, detail: str) -> tuple[int, dict]:
         expr = payload.get("pattern")
         if not isinstance(expr, str):
             return 400, {"error": 'a string "pattern" field is required'}
@@ -444,11 +447,14 @@ class AsyncServiceServer:
         pattern = await self.service.submit_async(api.compile, expr, dialect=dialect)
         if not pattern.is_deterministic:
             return 422, {"error": f"pattern is not deterministic: {pattern.explain()}"}
-        verdicts = await self.service.match_batch_async(expr, words, dialect=dialect)
+        verdicts = await self.service.match_batch_async(
+            expr, words, dialect=dialect, detail=detail
+        )
         description = pattern.describe()
         return 200, {
             "pattern": expr,
             "count": len(verdicts),
+            "detail": detail,
             "verdicts": verdicts,
             "strategy": description.get("strategy"),
             "batch_path": description.get("batch_path"),
@@ -470,7 +476,8 @@ class AsyncServiceServer:
             "count": len(verdicts),
             "detail": detail,
             "verdicts": [
-                wire.shape_verdict(v.valid, v.violations, detail) for v in verdicts
+                wire.shape_verdict(v.valid, v.details or v.violations, detail)
+                for v in verdicts
             ],
         }
 
@@ -678,7 +685,17 @@ class AsyncServiceServer:
             "batch_path": description.get("batch_path"),
             "detail": detail,
         }
-        return pattern.match_all, (lambda verdict: verdict), response_header
+        if detail == "verdict":
+            # The untraced hot path: bare booleans straight off match_all.
+            return pattern.match_all, (lambda verdict: verdict), response_header
+
+        def work(chunk: list):
+            # Witness-recording mode; shaping runs on the pool thread so
+            # diagnosis replays never execute on the event loop.
+            results = pattern.match_all(chunk, detail="full")
+            return [wire.shape_match(result, detail) for result in results]
+
+        return work, (lambda verdict: verdict), response_header
 
     async def _prepare_validate(self, header: dict, detail: str):
         kind, validator = await self._build_validator(header)
@@ -688,7 +705,7 @@ class AsyncServiceServer:
             return [verdict_of(validator, parse_document(text)) for text in chunk]
 
         def shape(verdict):
-            return wire.shape_verdict(verdict.valid, verdict.violations, detail)
+            return wire.shape_verdict(verdict.valid, verdict.details or verdict.violations, detail)
 
         return work, shape, {"schema": kind, "detail": detail}
 

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from .. import api
-from ..matching.kernel import kernel_stats
+from ..matching import kernel
 from ..matching.runtime import shared_row_count
 from ..regex.ast import Regex
 from ..xml.document import Document, Element
@@ -43,6 +43,7 @@ from ..xml.dtd import DTD, parse_dtd
 from ..xml.parser import parse_document
 from ..xml.validator import DTDValidator
 from ..xml.xsd import XSDSchema, schema_from_dict
+from .wire import DETAIL_LEVELS, shape_match
 
 #: Default worker-thread count; the acceptance workloads run at 8.
 DEFAULT_WORKERS = 8
@@ -62,10 +63,17 @@ LATENCY_WINDOW = 2048
 
 @dataclass(frozen=True, slots=True)
 class DocumentVerdict:
-    """Per-document validation outcome, JSON-shaped for the HTTP layer."""
+    """Per-document validation outcome, JSON-shaped for the HTTP layer.
+
+    ``violations`` keeps the legacy rendered-message tuple;  ``details``
+    carries the structured :class:`~repro.xml.validator.Violation`
+    objects behind them (element path, child index, expected tags), which
+    the wire layer renders at ``detail=full``.
+    """
 
     valid: bool
     violations: tuple[str, ...] = ()
+    details: tuple = ()
 
     def to_dict(self) -> dict:
         return {"valid": self.valid, "violations": list(self.violations)}
@@ -245,7 +253,8 @@ class ValidationService:
         expr: Regex | str,
         words: Iterable[str | Sequence[str]],
         dialect: str = "paper",
-    ) -> list[bool]:
+        detail: str = "verdict",
+    ) -> list:
         """Match a corpus of words against one pattern, in parallel.
 
         The pattern comes from the module compile cache (warm across
@@ -256,19 +265,29 @@ class ValidationService:
         replay over the shared rows.  Order is preserved.  Small corpora
         run inline: below :data:`MIN_CHUNK` words the pool handoff would
         dominate the matching itself.
+
+        *detail* selects the verdict shape (the wire negotiation levels):
+        ``"verdict"`` keeps the historical list of booleans on the
+        untraced hot path; ``"summary"`` / ``"full"`` run the chunks in
+        witness-recording mode and return the JSON-ready shapes of
+        :func:`~repro.service.wire.shape_match` (failing index,
+        expected-next set, repair hints).
         """
         self._ensure_open()
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(f"unknown detail level {detail!r}")
         with self._request():
             pattern = api.compile(expr, dialect=dialect)
             self._remember_pattern(pattern, dialect)
-            return self._map_chunked(pattern.match_all, list(words))
+            return self._map_chunked(self._match_work(pattern, detail), list(words))
 
     async def match_batch_async(
         self,
         expr: Regex | str,
         words: Iterable[str | Sequence[str]],
         dialect: str = "paper",
-    ) -> list[bool]:
+        detail: str = "verdict",
+    ) -> list:
         """:meth:`match_batch` for event loops — no thread ever blocks.
 
         The sync path would park the calling thread (for the async front:
@@ -279,10 +298,31 @@ class ValidationService:
         both call ``Pattern.match_all`` on the same chunks.
         """
         self._ensure_open()
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(f"unknown detail level {detail!r}")
         with self._request():
             pattern = await self.submit_async(api.compile, expr, dialect=dialect)
             self._remember_pattern(pattern, dialect)
-            return await self._map_chunked_async(pattern.match_all, list(words))
+            return await self._map_chunked_async(
+                self._match_work(pattern, detail), list(words)
+            )
+
+    @staticmethod
+    def _match_work(pattern: api.Pattern, detail: str) -> Callable[[list], list]:
+        """The per-chunk matching closure for one negotiated detail level.
+
+        ``verdict`` is exactly the pre-PR-9 hot path (no tracing, bare
+        booleans); richer levels record witnesses and shape them on the
+        worker thread, so diagnosis replays never run on a serving loop.
+        """
+        if detail == "verdict":
+            return pattern.match_all
+
+        def work(chunk: list) -> list:
+            results = pattern.match_all(chunk, detail="full")
+            return [shape_match(result, detail) for result in results]
+
+        return work
 
     # -- document validation ---------------------------------------------------------------
     def validate_documents(
@@ -356,9 +396,14 @@ class ValidationService:
     ) -> DocumentVerdict:
         if isinstance(validator, XSDSchema):
             root = document.root if isinstance(document, Document) else document
-            return DocumentVerdict(validator.validate_element(root))
-        violations = validator.validate(document)
-        return DocumentVerdict(not violations, tuple(v.describe() for v in violations))
+            result = validator.validate_element(root)
+        else:
+            result = validator.validate(document)
+        return DocumentVerdict(
+            result.valid,
+            tuple(violation.describe() for violation in result),
+            details=tuple(result),
+        )
 
     # -- wire-payload schema memo --------------------------------------------------------
     def validator_for_dtd(self, dtd_text: str) -> DTDValidator:
@@ -412,17 +457,17 @@ class ValidationService:
         """One consistent snapshot of every telemetry surface.
 
         ``requests`` (total / errors / in_flight / p50_ms / p99_ms) comes
-        from this service's own counters; ``pattern_cache`` is
-        :func:`repro.cache_stats`; ``patterns`` maps recently served
-        patterns to their :meth:`~repro.api.Pattern.runtime_stats`;
-        ``validators`` maps memoized wire schemas to their
-        ``stats()`` aggregates; ``shared_rows`` counts interned dense rows
-        process-wide; ``kernel`` is
-        :func:`repro.matching.kernel.kernel_stats` (batch-kernel programs
+        from this service's own counters; ``pattern_cache`` is the
+        compile-cache namespace of :func:`repro.stats`; ``patterns`` maps
+        recently served patterns to their
+        :meth:`~repro.api.Pattern.stats`; ``validators`` maps memoized
+        wire schemas to their ``stats()`` aggregates; ``shared_rows``
+        counts interned dense rows process-wide; ``kernel`` is
+        :func:`repro.matching.kernel.stats` (batch-kernel programs
         built, kernel-path vs fallback word counts and the scan backend
-        in use); ``snapshot`` is :func:`repro.api.snapshot_stats`
-        (dense-row persistence telemetry, including the
-        ``snapshot_rejected`` degradation counter).
+        in use); ``snapshot`` is the snapshot namespace of
+        :func:`repro.stats` (dense-row persistence telemetry, including
+        the ``snapshot_rejected`` degradation counter).
         """
         with self._metrics_lock:
             latencies = sorted(self._latencies)
@@ -435,7 +480,7 @@ class ValidationService:
             }
         with self._memo_lock:
             patterns = {
-                key: pattern.runtime_stats() for key, pattern in self._patterns.items()
+                key: pattern.stats() for key, pattern in self._patterns.items()
             }
             validators = {
                 key: validator.stats() for key, validator in self._validators.items()
@@ -443,12 +488,12 @@ class ValidationService:
         stats = {
             "service": {"workers": self.workers, "closed": self._closed},
             "requests": requests,
-            "pattern_cache": api.cache_stats(),
+            "pattern_cache": api._cache_stats(),
             "patterns": patterns,
             "validators": validators,
             "shared_rows": shared_row_count(),
-            "kernel": kernel_stats(),
-            "snapshot": api.snapshot_stats(),
+            "kernel": kernel.stats(),
+            "snapshot": api._snapshot_stats(),
         }
         autosizer = self.autosizer
         if autosizer is not None:

@@ -12,12 +12,18 @@ Endpoints (JSON in, JSON out; shapes documented in ``docs/service.md``):
     ``{"pattern": "(ab)*", "words": ["abab", ...], "dialect": "paper"}``
     → ``{"verdicts": [true, ...], "strategy": ..., "batch_path": ...}``.
     Non-deterministic patterns are a *422* with the conflict explanation —
-    determinism is a property of the input, not a server fault.
+    determinism is a property of the input, not a server fault.  The
+    negotiated ``detail`` level (``?detail=``, ``X-Repro-Detail``, or the
+    ``Accept`` parameter; default ``verdict``) upgrades the booleans to
+    the :func:`~repro.service.wire.shape_match` diagnosis shapes —
+    failing index, expected-next set, repair hints.
 
 ``POST /validate``
     ``{"dtd": "<!ELEMENT ...>", "documents": ["<a>...</a>", ...]}`` or
     ``{"xsd": {"root": ..., "elements": {...}}, "documents": [...]}``
     → ``{"verdicts": [{"valid": ..., "violations": [...]}, ...]}``.
+    ``detail`` negotiates the violation shape (default ``full``:
+    structured objects with element path, child index, expected tags).
 
 ``GET /stats``
     The service's consistent telemetry snapshot (request counters with
@@ -43,6 +49,7 @@ from __future__ import annotations
 import json
 import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl
 
 from ..errors import NotDeterministicError, ReproError
 from . import wire
@@ -223,16 +230,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 remaining -= len(block)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
-        handler = {"/match": self._handle_match, "/validate": self._handle_validate}.get(self.path)
+        path = self.path.partition("?")[0]
+        handler = {"/match": self._handle_match, "/validate": self._handle_validate}.get(path)
         if handler is None:
             self.close_connection = True  # body unread: keep-alive would desync
-            self._send_error_json(404, f"no such endpoint: {self.path}")
+            self._send_error_json(404, f"no such endpoint: {path}")
             return
         payload = self._read_json()
         if payload is None:
             return
         try:
             handler(payload)
+        except wire.WireError as error:
+            self._send_error_json(error.status, str(error))
         except NotDeterministicError as error:
             # Unprocessable input, not a server fault: the expression (or a
             # content model) fails the paper's determinism requirement.
@@ -241,6 +251,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(error))
         except (TypeError, ValueError, KeyError) as error:
             self._send_error_json(400, f"malformed request: {error!r}")
+
+    def _negotiated_detail(self, default: str) -> str:
+        """The wire detail level for this request (query > header > Accept).
+
+        Shares :func:`~repro.service.wire.negotiate_detail` with the
+        asyncio front so both fronts honour the same precedence and
+        reject unknown levels with the same 400.
+        """
+        query = dict(parse_qsl(self.path.partition("?")[2], keep_blank_values=True))
+        headers = {name.lower(): value for name, value in self.headers.items()}
+        return wire.negotiate_detail(headers, query, default=default)
 
     # -- endpoint bodies -----------------------------------------------------------------
     def _handle_match(self, payload: dict) -> None:
@@ -265,19 +286,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
             return
         dialect = payload.get("dialect", "paper")
+        detail = self._negotiated_detail(default="verdict")
         from .. import api
 
         pattern = api.compile(expr, dialect=dialect)
         if not pattern.is_deterministic:
             self._send_error_json(422, f"pattern is not deterministic: {pattern.explain()}")
             return
-        verdicts = self.service.match_batch(expr, words, dialect=dialect)
+        verdicts = self.service.match_batch(expr, words, dialect=dialect, detail=detail)
         description = pattern.describe()
         self._send_json(
             200,
             {
                 "pattern": expr,
                 "count": len(verdicts),
+                "detail": detail,
                 "verdicts": verdicts,
                 "strategy": description.get("strategy"),
                 "batch_path": description.get("batch_path"),
@@ -285,6 +308,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         )
 
     def _handle_validate(self, payload: dict) -> None:
+        detail = self._negotiated_detail(default="full")
         documents = payload.get("documents")
         if not isinstance(documents, list):
             self._send_error_json(400, 'a list "documents" field (XML text) is required')
@@ -329,7 +353,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             {
                 "schema": kind,
                 "count": len(verdicts),
-                "verdicts": [verdict.to_dict() for verdict in verdicts],
+                "detail": detail,
+                "verdicts": [
+                    wire.shape_verdict(v.valid, v.details or v.violations, detail)
+                    for v in verdicts
+                ],
             },
         )
 

@@ -24,7 +24,7 @@ way, arranged so the PR-4 snapshot work pays off fleet-wide:
 5. with ``--snapshot-save`` each worker additionally runs a
    :class:`SnapshotRefresher`: a background thread that atomically
    re-persists the snapshot whenever the materialization gauge
-   (``repro.snapshot_stats()["materialized"]``) grows past a threshold,
+   (``repro.stats()["snapshot"]["materialized"]``) grows past a threshold,
    so ``GET /snapshot`` always streams a recent complete file and a new
    host can bootstrap from the running fleet (``--snapshot-url``).
 
@@ -73,7 +73,7 @@ MAX_RESTARTS_PER_SLOT = 5
 #: Seconds between the snapshot refresher's materialization checks.
 REFRESH_INTERVAL = 30.0
 
-#: Materialization growth (``snapshot_stats()["materialized"]["total"]``
+#: Materialization growth (``stats()["snapshot"]["materialized"]["total"]``
 #: delta) below which the refresher leaves the on-disk snapshot alone —
 #: a handful of new transitions is not worth an fsync'd rewrite.
 REFRESH_MIN_GROWTH = 64
@@ -83,7 +83,7 @@ class SnapshotRefresher:
     """Background thread keeping an on-disk snapshot fresh as traffic warms.
 
     Every *interval* seconds it reads the live materialization gauge
-    (``repro.snapshot_stats()["materialized"]["total"]``: memoized
+    (``repro.stats()["snapshot"]["materialized"]["total"]``: memoized
     lazy-DFA transitions + star-free table entries + validator memo
     entries) and, when the level has grown by at least *min_growth*
     since the last persist, atomically rewrites *path* via
@@ -146,7 +146,7 @@ class SnapshotRefresher:
         ``None``.  Exposed for tests and for operators wanting a
         synchronous flush (e.g. right before shutdown).
         """
-        level = api.snapshot_stats()["materialized"]["total"]
+        level = api._snapshot_stats()["materialized"]["total"]
         if level - self._persisted_level < self.min_growth:
             return None
         try:
@@ -160,7 +160,7 @@ class SnapshotRefresher:
         # Re-read after the save: a complete export densifies rows and
         # resolves acceptance verdicts, growing the gauge as a side
         # effect — that state is *in* the snapshot, so it is persisted.
-        self._persisted_level = api.snapshot_stats()["materialized"]["total"]
+        self._persisted_level = api._snapshot_stats()["materialized"]["total"]
         self.saves += 1
         self.last_report = report
         self.last_error = None

@@ -16,7 +16,9 @@ unit-testable without a socket:
   streamed responses whose length is unknown up front;
 * the PR-3 content negotiation of violation detail levels
   (:func:`negotiate_detail`): ``verdict`` (booleans only), ``summary``
-  (violation *counts*), ``full`` (violation messages);
+  (violation *counts*), ``full`` (structured violation objects — since
+  PR 9 with element path, child index and expected tags; match results
+  are shaped the same way by :func:`shape_match`);
 * snapshot download integrity (:func:`snapshot_etag`,
   :func:`parse_range`): strong validators derived from the file identity
   so a ranged resume can never silently splice two snapshot generations
@@ -175,13 +177,47 @@ def negotiate_detail(headers: dict[str, str], query: dict[str, str], default: st
     return candidate
 
 
-def shape_verdict(valid: bool, violations: tuple[str, ...] | list[str], detail: str):
-    """One document verdict in its negotiated wire shape (JSON-ready)."""
+def shape_verdict(valid: bool, violations, detail: str):
+    """One document verdict in its negotiated wire shape (JSON-ready).
+
+    *violations* may be plain strings (the legacy message shape) or
+    diagnostic objects exposing ``to_dict`` — the PR-9
+    :class:`~repro.xml.validator.Violation` records with element path,
+    child index and expected tags.  ``verdict`` stays a bare boolean and
+    ``summary`` a count either way; ``full`` renders whatever detail the
+    objects carry, identically on the threaded and asyncio fronts.
+    """
     if detail == "verdict":
         return valid
     if detail == "summary":
         return {"valid": valid, "violations": len(violations)}
-    return {"valid": valid, "violations": list(violations)}
+    return {
+        "valid": valid,
+        "violations": [
+            violation.to_dict() if hasattr(violation, "to_dict") else violation
+            for violation in violations
+        ],
+    }
+
+
+def shape_match(result, detail: str):
+    """One match verdict in its negotiated wire shape (JSON-ready).
+
+    *result* is a :class:`~repro.diagnostics.MatchResult` (or a bare
+    bool, shaped as ``verdict`` regardless).  ``verdict`` keeps the
+    historical bare boolean — the level both fronts default to on
+    ``/match`` — ``summary`` adds the failing index, and ``full`` the
+    whole diagnosis (expected-next set, repair hints) via
+    :meth:`~repro.diagnostics.MatchResult.to_dict`.
+    """
+    if detail == "verdict" or isinstance(result, bool):
+        return bool(result)
+    if detail == "summary":
+        payload = {"matched": result.matched}
+        if not result.matched:
+            payload["error_index"] = result.error_index
+        return payload
+    return result.to_dict()
 
 
 # ---------------------------------------------------------------------------

@@ -108,6 +108,24 @@ def content_model_expression(model: ContentModel) -> Regex | None:
     return None  # EMPTY and ANY do not constrain children with an expression
 
 
+def describe_expected(expected: tuple[str, ...], can_end: bool) -> str:
+    """Render an expected-next tag set in DTD choice syntax.
+
+    The diagnostics layer hands validators the symbols that may follow a
+    stuck child position (see :mod:`repro.diagnostics`); this renders
+    them the way a DTD author reads content models — ``(a | b)``, with
+    ``#END`` marking that the element could also close here.
+    """
+    options = [f"<{tag}>" for tag in expected]
+    if can_end:
+        options.append("#END")
+    if not options:
+        return "nothing"
+    if len(options) == 1:
+        return options[0]
+    return "(" + " | ".join(options) + ")"
+
+
 # ---------------------------------------------------------------------------
 # Content-model syntax
 # ---------------------------------------------------------------------------

@@ -27,24 +27,54 @@ from dataclasses import dataclass
 from typing import Sequence, Union
 
 from ..api import Pattern, compile as compile_pattern
+from ..diagnostics import ValidationResult, diagnose
 from ..errors import NotDeterministicError
 from ..matching.base import DeterministicMatcher, MatchRun
 from ..matching.runtime import CompiledRun, CompiledRuntime, aggregate_stats
 from .document import Document, Element
-from .dtd import DTD, ContentModel, content_model_expression
+from .dtd import DTD, ContentModel, content_model_expression, describe_expected
 from .memo import AcceptanceMemo
 
 
 @dataclass(frozen=True, slots=True)
 class Violation:
-    """One validation problem, tied to the offending element."""
+    """One validation problem, tied to the offending element.
+
+    Beyond the bare verdict fields (``element``, ``kind``, ``message``),
+    content violations carry the diagnosis the deterministic run yields
+    for free: ``path`` locates the element from the validation root
+    (``/catalog/product[3]``), ``child_index`` is the offset of the first
+    offending child (``len(children)`` when the sequence ended too
+    early), and ``expected`` lists the child tags that would have been
+    legal there — read off the Section 4 follow sets at the stuck
+    position (see :mod:`repro.diagnostics`).
+    """
 
     element: Element
-    kind: str  # "undeclared", "content", "unexpected-text"
+    kind: str  # "undeclared", "content", "unexpected-text", "unknown-type", "upa"
     message: str
+    path: str = ""
+    child_index: int | None = None
+    expected: tuple[str, ...] = ()
 
     def describe(self) -> str:
-        return f"<{self.element.name}>: {self.message}"
+        where = f" (at {self.path})" if self.path else ""
+        return f"<{self.element.name}>: {self.message}{where}"
+
+    def to_dict(self) -> dict:
+        """Wire-ready rendering (the ``detail=full`` shape)."""
+        payload: dict = {
+            "element": self.element.name,
+            "kind": self.kind,
+            "message": self.message,
+        }
+        if self.path:
+            payload["path"] = self.path
+        if self.child_index is not None:
+            payload["child_index"] = self.child_index
+        if self.expected:
+            payload["expected"] = list(self.expected)
+        return payload
 
 
 class DTDValidator:
@@ -70,6 +100,9 @@ class DTDValidator:
         self.compiled = compiled
         self._matchers: dict[str, DeterministicMatcher | None] = {}
         self._runtimes: dict[str, CompiledRuntime | None] = {}
+        #: per-element compiled Pattern — the diagnosis layer replays
+        #: failing child sequences through it (off the verdict hot path)
+        self._patterns: dict[str, Pattern | None] = {}
         #: per-element acceptance memo (child-sequence → verdict), shared
         #: through the pattern so every validator of a structurally equal
         #: content model hits the same warm entries; persisted in the
@@ -82,6 +115,7 @@ class DTDValidator:
                 self._matchers[name] = None
                 self._runtimes[name] = None
                 self._memos[name] = None
+                self._patterns[name] = None
                 continue
             # The compile cache applies the right determinism semantics (the
             # counter-aware one when the model uses the DTD '+' operator),
@@ -97,10 +131,17 @@ class DTDValidator:
             self._matchers[name] = pattern.matcher
             self._runtimes[name] = pattern.runtime if compiled else None
             self._memos[name] = pattern.acceptance_memo() if compiled else None
+            self._patterns[name] = pattern
 
     # -- document-level API -----------------------------------------------------------------
-    def validate(self, document: Document | Element) -> list[Violation]:
-        """Return every violation found in *document* (empty list = valid).
+    def validate(self, document: Document | Element) -> ValidationResult:
+        """Validate *document*; returns a truthy/falsy :class:`ValidationResult`.
+
+        The result is truthy exactly when the document is valid and
+        list-like over its :class:`Violation` objects (iteration, ``len``,
+        indexing), so pre-PR-9 code that looped over the returned
+        violation list keeps working.  Violations carry element paths
+        computed during this walk.
 
         Thread-safe: a validator is immutable once constructed — its
         matchers and runtimes come from the (locked) module compile cache,
@@ -110,12 +151,18 @@ class DTDValidator:
         """
         root = document.root if isinstance(document, Document) else document
         violations: list[Violation] = []
-        for element in root.iter_elements():
-            violations.extend(self.validate_element(element))
-        return violations
+        stack: list[tuple[Element, str]] = [(root, f"/{root.name}")]
+        while stack:
+            element, path = stack.pop()
+            violations.extend(self.validate_element(element, path=path))
+            children = element.children
+            for slot in range(len(children) - 1, -1, -1):
+                child = children[slot]
+                stack.append((child, f"{path}/{child.name}[{slot + 1}]"))
+        return ValidationResult(not violations, violations)
 
-    def validate_many(self, documents: Sequence[Document | Element]) -> list[list[Violation]]:
-        """Validate a corpus of documents; one violation list per document.
+    def validate_many(self, documents: Sequence[Document | Element]) -> list[ValidationResult]:
+        """Validate a corpus of documents; one :class:`ValidationResult` each.
 
         The batch front door the validation service fans out over its
         worker threads: every document replays the same warm per-model
@@ -126,31 +173,64 @@ class DTDValidator:
 
     def is_valid(self, document: Document | Element) -> bool:
         """True when the document has no violations."""
-        return not self.validate(document)
+        return self.validate(document).valid
 
     # -- element-level API --------------------------------------------------------------------
-    def validate_element(self, element: Element) -> list[Violation]:
-        """Check one element (its child sequence and text) against its declaration."""
+    def validate_element(self, element: Element, path: str = "") -> ValidationResult:
+        """Check one element (its child sequence and text) against its declaration.
+
+        Returns a :class:`ValidationResult` over this element's
+        violations only; *path* (supplied by the :meth:`validate` walk)
+        locates the element in diagnostics.
+        """
         model = self._models.get(element.name)
         if model is None:
             if self.strict:
-                return [Violation(element, "undeclared", "element name is not declared")]
-            return []
+                violation = Violation(
+                    element, "undeclared", "element name is not declared", path=path
+                )
+                return ValidationResult(False, (violation,))
+            return ValidationResult(True)
         violations: list[Violation] = []
         if element.has_text() and not model.allows_text:
             violations.append(
-                Violation(element, "unexpected-text", "character data is not allowed here")
+                Violation(
+                    element, "unexpected-text", "character data is not allowed here", path=path
+                )
             )
         children = element.child_sequence()
         if not self._children_allowed(element.name, model, children):
-            violations.append(
-                Violation(
-                    element,
-                    "content",
-                    f"children {children!r} do not match content model {model.describe()}",
-                )
-            )
-        return violations
+            violations.append(self._content_violation(element, model, children, path))
+        return ValidationResult(not violations, violations)
+
+    def _content_violation(
+        self, element: Element, model: ContentModel, children: Sequence[str], path: str
+    ) -> Violation:
+        """Diagnose a failed child sequence into a located violation.
+
+        Runs only on elements that already failed, so the replay cost is
+        proportional to the number of *errors*, never to document size.
+        """
+        message = f"children {children!r} do not match content model {model.describe()}"
+        pattern = self._patterns.get(element.name)
+        if pattern is None:
+            # EMPTY / (#PCDATA)-only models: any child at all is the error.
+            return Violation(element, "content", message, path=path, child_index=0)
+        diagnosis = diagnose(pattern, list(children))
+        index = diagnosis.error_index
+        if index is not None and index < len(children):
+            detail = f"unexpected child <{children[index]}> at index {index}"
+        else:
+            detail = f"content ended too early after {len(children)} child(ren)"
+        wanted = describe_expected(diagnosis.expected, diagnosis.can_end)
+        return Violation(
+            element,
+            "content",
+            f"{message}: {detail}; expected {wanted}",
+            path=path,
+            child_index=index,
+            expected=diagnosis.expected,
+        )
 
     def _children_allowed(self, name: str, model: ContentModel, children: Sequence[str]) -> bool:
         if model.kind == "any":
@@ -179,7 +259,7 @@ class DTDValidator:
         Mirrors :meth:`repro.xml.xsd.XSDSchema.stats`: ``"elements"`` maps
         each declared name with a built runtime to its
         :meth:`~repro.matching.runtime.CompiledRuntime.stats`, ``"totals"``
-        sums them.  Use together with :func:`repro.cache_stats` to size the
+        sums them.  Use together with ``repro.stats()["pattern_cache"]`` to size the
         compile cache from observed validation traffic.  Runtimes belong to
         cached patterns, so counters include traffic from every validator
         sharing the same content models through the compile cache.

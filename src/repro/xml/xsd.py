@@ -27,10 +27,13 @@ compiled runtime; pass ``compiled=False`` to validate on the direct
 ...                                  element_particle("note", 0, 1)))
 >>> schema.is_valid_schema()
 True
->>> schema.validate_children("order", ["item", "item", "note"])
+>>> bool(schema.validate_children("order", ["item", "item", "note"]))
 True
->>> schema.validate_children("order", ["note"])
+>>> result = schema.validate_children("order", ["note"])
+>>> bool(result)
 False
+>>> result[0].child_index, result[0].expected
+(0, ('item',))
 >>> schema.stats()["totals"]["misses"] > 0
 True
 """
@@ -43,11 +46,14 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..core.determinism import DeterminismReport
 from ..core.numeric import NumericDeterminismReport
+from ..diagnostics import ValidationResult, diagnose
 from ..errors import InvalidExpressionError
 from ..matching.runtime import CompiledRuntime, aggregate_stats
 from ..regex.ast import Regex, Repeat, Sym, concat, union
 from .document import Element
+from .dtd import describe_expected
 from .memo import AcceptanceMemo
+from .validator import Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports nothing from here)
     from ..api import Pattern
@@ -256,15 +262,26 @@ class XSDSchema:
         )
 
     # -- validation ----------------------------------------------------------------------------
-    def validate_children(self, name: str, child_names: Sequence[str]) -> bool:
+    def validate_children(
+        self,
+        name: str,
+        child_names: Sequence[str],
+        _element: Element | None = None,
+        _path: str = "",
+    ) -> ValidationResult:
         """Check one child sequence against the declared particle of *name*.
 
-        Validation goes through the expanded expression (numeric bounds
-        are unfolded to ``Repeat`` nodes the parse tree rewrites), matched
-        on the compiled runtime: the child names are interned into integer
-        codes once, then replayed over transition rows shared with every
-        other document — and every other schema — that exercised the same
-        content model.
+        Returns a truthy/falsy :class:`~repro.diagnostics.ValidationResult`;
+        on failure it carries one located :class:`~repro.xml.validator.Violation`
+        with the offending child index and the expected tags (diagnosed by
+        replaying the sequence — paid only on failure).  The verdict itself
+        goes through the expanded expression (numeric bounds are unfolded
+        to ``Repeat`` nodes the parse tree rewrites), matched on the
+        compiled runtime: the child names are interned into integer codes
+        once, then replayed over transition rows shared with every other
+        document — and every other schema — that exercised the same
+        content model.  *_element*/*_path* are supplied by the
+        :meth:`validate_element` walk to locate violations.
         """
         engines = self._engines
         if name in engines:  # lock-free warm probe (the per-element steady state)
@@ -284,7 +301,8 @@ class XSDSchema:
                         engine = pattern.matcher
                     engine = engines[name] = engine
         if engine is None:
-            return True  # undeclared elements are unconstrained in this mini-schema
+            # Undeclared elements are unconstrained in this mini-schema.
+            return ValidationResult(True)
         # Dispatch on what was memoized, not on the (mutable) `compiled`
         # flag: an engine chosen before the flag was flipped keeps working.
         if type(engine) is CompiledRuntime:
@@ -292,16 +310,76 @@ class XSDSchema:
             if memo is not None:
                 # Whole-sequence fast path: repeated child sequences (the
                 # Li et al. workload) are answered by one dict probe.
-                return memo.accepts(engine, child_names)
-            return engine.accepts_encoded(engine.encode(child_names))
-        return engine.accepts(list(child_names))
-
-    def validate_element(self, element: Element) -> bool:
-        """Recursively validate *element* and its descendants."""
-        return all(
-            self.validate_children(node.name, node.child_sequence())
-            for node in element.iter_elements()
+                allowed = memo.accepts(engine, child_names)
+            else:
+                allowed = engine.accepts_encoded(engine.encode(child_names))
+        else:
+            allowed = engine.accepts(list(child_names))
+        if allowed:
+            return ValidationResult(True)
+        return ValidationResult(
+            False, (self._children_violation(name, child_names, _element, _path),)
         )
+
+    def _children_violation(
+        self, name: str, child_names: Sequence[str], element: Element | None, path: str
+    ) -> Violation:
+        """Diagnose a failed child sequence (runs only on failures)."""
+        particle = self.types[name]
+        target = element if element is not None else Element(name)
+        message = f"children {list(child_names)!r} do not match particle {particle.describe()}"
+        diagnosis = diagnose(self._pattern_for(name), list(child_names))
+        index = diagnosis.error_index
+        if index is not None and index < len(child_names):
+            detail = f"unexpected child <{child_names[index]}> at index {index}"
+        else:
+            detail = f"content ended too early after {len(child_names)} child(ren)"
+        wanted = describe_expected(diagnosis.expected, diagnosis.can_end)
+        return Violation(
+            target,
+            "content",
+            f"{message}: {detail}; expected {wanted}",
+            path=path,
+            child_index=index,
+            expected=diagnosis.expected,
+        )
+
+    def validate_element(self, element: Element) -> ValidationResult:
+        """Recursively validate *element*; collects every located violation.
+
+        Returns a truthy/falsy :class:`~repro.diagnostics.ValidationResult`
+        over :class:`~repro.xml.validator.Violation` objects with element
+        paths.  Particles that violate Unique Particle Attribution are
+        reported as ``"upa"`` violations (with the conflicting-position
+        context from the counter-aware analysis) instead of being matched
+        — the Section 4 matchers are only correct under UPA.
+        """
+        violations: list[Violation] = []
+        stack: list[tuple[Element, str]] = [(element, f"/{element.name}")]
+        while stack:
+            node, path = stack.pop()
+            pattern = self._pattern_for(node.name)
+            if pattern is not None and not pattern.is_deterministic:
+                particle = self.types[node.name]
+                violations.append(
+                    Violation(
+                        node,
+                        "upa",
+                        f"particle {particle.describe()} violates Unique Particle "
+                        f"Attribution: {pattern.explain()}",
+                        path=path,
+                    )
+                )
+            else:
+                result = self.validate_children(
+                    node.name, node.child_sequence(), _element=node, _path=path
+                )
+                violations.extend(result)
+            children = node.children
+            for slot in range(len(children) - 1, -1, -1):
+                child = children[slot]
+                stack.append((child, f"{path}/{child.name}[{slot + 1}]"))
+        return ValidationResult(not violations, violations)
 
     def _pattern_for(self, name: str) -> "Pattern | None":
         """The compiled pattern of *name*'s particle, memoized per element.

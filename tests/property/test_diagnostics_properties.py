@@ -1,0 +1,121 @@
+"""Property tests for the diagnostics layer: witnesses replay, expectations are exact.
+
+Two contracts from the PR-9 redesign, checked against the brute-force
+:class:`~repro.regex.language.LanguageOracle` (subset simulation over the
+position automaton — ground truth, never the code under test):
+
+* **Witness soundness** — the recorded state trace of any diagnosis walks
+  marked positions whose labels spell exactly the consumed input, and the
+  verdict agrees with the oracle.  For deterministic expressions the run
+  *is* the witness (Glushkov positions are the DFA states), so replaying
+  it must reconstruct the word.
+
+* **Expectation exactness** — at a failure, ``Diagnosis.expected`` (read
+  off the Section-4 follow sets) equals the brute-force set of symbols
+  that extend the consumed prefix into a viable word prefix, and
+  ``can_end`` / ``last_accepting`` agree with oracle membership of the
+  prefixes.  Both the compiled-runtime engine and the direct-matcher
+  engine must say the same thing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Pattern
+from repro.diagnostics import diagnose
+from repro.regex.generators import random_deterministic_expression
+from repro.regex.language import LanguageOracle
+from repro.regex.parse_tree import build_parse_tree
+from repro.regex.words import mutate_word, sample_member
+
+
+def _workload(seed: int, leaf_count: int):
+    """A deterministic expression plus member/near-member/random words."""
+    rng = random.Random(seed)
+    expr = random_deterministic_expression(rng, leaf_count)
+    tree = build_parse_tree(expr)
+    alphabet = tree.alphabet.as_list() or ["a"]
+    words: list[list[str]] = [[]]
+    for _ in range(5):
+        member = sample_member(expr, rng)
+        words.append(list(member))
+        words.append(list(mutate_word(member, alphabet, rng)))
+        words.append([rng.choice(alphabet) for _ in range(rng.randint(1, 8))])
+    words.append([alphabet[0], "not-in-alphabet"])
+    return expr, tree, alphabet, words
+
+
+def _oracle_prefix_state(oracle: LanguageOracle, prefix):
+    state = oracle.initial_state()
+    for symbol in prefix:
+        state = oracle.step(state, symbol)
+    return state
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_success_witness_replays_word_and_verdict(seed: int, leaf_count: int):
+    expr, tree, alphabet, words = _workload(seed, leaf_count)
+    oracle = LanguageOracle(tree)
+    for compiled in (True, False):
+        pattern = Pattern(expr, compiled=compiled)
+        for word in words:
+            diag = diagnose(pattern, word)
+            assert diag.matched == oracle.accepts(word), (compiled, word)
+            if not diag.matched:
+                continue
+            # the trace walks one marked position per symbol, from the start
+            # sentinel; its labels reconstruct the accepted word exactly
+            nodes = diag.positions()
+            assert nodes[0].position_index == tree.start.position_index
+            assert [node.symbol for node in nodes[1:]] == list(word), (compiled, word)
+            assert diag.error_index is None
+            assert diag.expected == ()
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=2, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_failure_expectations_match_brute_force(seed: int, leaf_count: int):
+    expr, tree, alphabet, words = _workload(seed, leaf_count)
+    oracle = LanguageOracle(tree)
+    for compiled in (True, False):
+        pattern = Pattern(expr, compiled=compiled)
+        for word in words:
+            diag = diagnose(pattern, word)
+            if diag.matched:
+                continue
+            index = diag.error_index
+            assert index is not None and 0 <= index <= len(word), (compiled, word)
+            prefix = list(word)[:index]
+            # the failure witness still spells the consumed prefix
+            assert [n.symbol for n in diag.positions()[1:]] == prefix, (compiled, word)
+            state = _oracle_prefix_state(oracle, prefix)
+            assert state, (compiled, word)  # the consumed prefix must be viable
+            # expected-next is *exactly* the set of symbols extending the
+            # viable prefix — no over- or under-approximation
+            brute = tuple(
+                sorted(symbol for symbol in alphabet if oracle.step(state, symbol))
+            )
+            assert diag.expected == brute, (compiled, word, diag.expected, brute)
+            assert diag.can_end == oracle.is_accepting(state), (compiled, word)
+            if index < len(word):
+                failing = word[index]
+                reason = "mismatch" if failing in alphabet else "unknown-symbol"
+                assert diag.reason == reason, (compiled, word)
+            else:
+                assert diag.reason == "unexpected-end", (compiled, word)
+            # last_accepting is the longest accepted prefix of the viable run
+            accepted = [
+                i for i in range(index + 1) if oracle.accepts(list(word)[:i])
+            ]
+            expected_last = accepted[-1] if accepted else -1
+            assert diag.last_accepting == expected_last, (compiled, word)

@@ -105,10 +105,10 @@ def test_single_byte_corruption_never_changes_a_verdict(seed: int, leaf_count: i
             handle.write(bytes(blob))
 
         repro.purge()
-        before = repro.snapshot_stats()["snapshot_rejected"]
+        before = repro.stats()["snapshot"]["snapshot_rejected"]
         report = repro.load_snapshot(path)  # must not raise, whatever the flip hit
         if report["rejected"]:
-            assert repro.snapshot_stats()["snapshot_rejected"] > before
+            assert repro.stats()["snapshot"]["snapshot_rejected"] > before
         pattern = repro.compile(expr)
         assert [pattern.match(word) for word in words] == expected, (
             f"verdict changed after flipping bit {bit} of byte {offset} "

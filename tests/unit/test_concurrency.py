@@ -93,7 +93,7 @@ def test_stress_compile_match_purge_stats_agree_with_oracle():
             if roll < 0.02:
                 repro.purge()
             elif roll < 0.08:
-                stats = repro.cache_stats()
+                stats = repro.stats()["pattern_cache"]
                 assert stats["evictions"] >= 0
                 assert 0 <= stats["size"] <= stats["max_size"]
             elif roll < 0.25:
@@ -121,7 +121,7 @@ def test_stress_single_shared_pattern():
 
     failures = _run_threads(worker)
     assert not failures, failures[0]
-    stats = pattern.runtime_stats()
+    stats = pattern.stats()
     assert stats is not None
     assert stats["transitions_memoized"] == stats["misses"]
 
@@ -149,7 +149,7 @@ def test_purge_racing_misses_keeps_cache_consistent():
     def purger(rng: random.Random):
         for _ in range(40):
             repro.purge()
-            stats = repro.cache_stats()
+            stats = repro.stats()["pattern_cache"]
             assert stats["evictions"] >= 0
             assert 0 <= stats["size"] <= stats["max_size"]
 
@@ -164,7 +164,7 @@ def test_purge_racing_misses_keeps_cache_consistent():
     finally:
         stop.set()
     assert not failures, failures[0]
-    stats = repro.cache_stats()
+    stats = repro.stats()["pattern_cache"]
     assert stats["evictions"] >= 0
     assert 0 <= stats["size"] <= stats["max_size"]
 
@@ -185,4 +185,4 @@ def test_concurrent_misses_for_one_key_build_one_pattern():
         thread.join()
     assert len(results) == THREADS
     assert len({id(pattern) for pattern in results}) == 1
-    assert repro.cache_stats()["misses"] == 1
+    assert repro.stats()["pattern_cache"]["misses"] == 1

@@ -20,7 +20,6 @@ from repro.matching.kernel import (
     VERDICT_FALLBACK,
     VERDICT_REJECT,
     build_program,
-    kernel_stats,
     match_corpus,
     match_words,
     reset_kernel_stats,
@@ -175,7 +174,7 @@ class TestPatternRouting:
         pattern = repro.compile("(ab+b(b?)a)*")
         assert pattern.describe()["batch_path"] == "compiled-kernel"
         assert pattern.match_all(WORDS) == _oracle("(ab+b(b?)a)*", WORDS)
-        stats = pattern.runtime_stats()
+        stats = pattern.stats()
         assert stats["kernel_words"] + stats["kernel_fallback_words"] == len(WORDS)
         assert stats["kernel_programs"] >= 1
 
@@ -184,22 +183,22 @@ class TestPatternRouting:
         few = ["ab", "aba"]
         assert len(few) < MIN_BATCH
         assert pattern.match_all(few) == [True, False]
-        assert pattern.runtime_stats()["kernel_programs"] == 0
+        assert pattern.stats()["kernel_programs"] == 0
 
     def test_small_batches_use_a_program_once_cached(self):
         pattern = repro.compile("(ab)*")
         pattern.match_all(["ab" * n for n in range(MIN_BATCH)])  # builds the program
-        built = pattern.runtime_stats()["kernel_programs"]
+        built = pattern.stats()["kernel_programs"]
         assert built >= 1
-        kernel_words_before = pattern.runtime_stats()["kernel_words"]
+        kernel_words_before = pattern.stats()["kernel_words"]
         assert pattern.match_all(["ab", "aba"]) == [True, False]
-        assert pattern.runtime_stats()["kernel_words"] > kernel_words_before
+        assert pattern.stats()["kernel_words"] > kernel_words_before
 
     def test_star_free_patterns_keep_the_multi_matcher_path(self):
         pattern = repro.compile("(a+b)(c?)d")
         assert pattern.describe()["batch_path"] == "star-free-multi"
         assert pattern.match_all(["acd", "bd", "dd"]) == [True, True, False]
-        assert pattern.runtime_stats() is None or pattern.runtime_stats()["kernel_words"] == 0
+        assert pattern.stats() is None or pattern.stats()["kernel_words"] == 0
 
     def test_match_all_agrees_with_match_on_rejecting_traffic(self):
         pattern = repro.compile("(ab+b(b?)a)*")
@@ -209,7 +208,7 @@ class TestPatternRouting:
 
 class TestTelemetry:
     def test_kernel_stats_shape(self):
-        stats = kernel_stats()
+        stats = kernel.stats()
         for key in (
             "programs_built",
             "corpora_encoded",
@@ -225,7 +224,7 @@ class TestTelemetry:
     def test_batch_traffic_bumps_the_module_counters(self):
         runtime = _runtime("(ab)*")
         match_words(runtime, [tuple("ab")] * MIN_BATCH)
-        stats = kernel_stats()
+        stats = kernel.stats()
         assert stats["programs_built"] >= 1
         assert stats["corpora_encoded"] >= 1
         assert stats["kernel_words"] + stats["fallback_words"] == MIN_BATCH

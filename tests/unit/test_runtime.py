@@ -216,7 +216,7 @@ class TestCompileCache:
     def test_compile_returns_cached_pattern(self):
         first = repro.compile("(ab)*")
         assert repro.compile("(ab)*") is first
-        assert repro.cache_stats()["hits"] == 1
+        assert repro.stats()["pattern_cache"]["hits"] == 1
 
     def test_cache_distinguishes_dialect_strategy_and_compiled(self):
         base = repro.compile("(ab)*")
@@ -226,7 +226,7 @@ class TestCompileCache:
     def test_purge_empties_the_cache(self):
         first = repro.compile("(ab)*")
         repro.purge()
-        assert repro.cache_stats()["size"] == 0
+        assert repro.stats()["pattern_cache"]["size"] == 0
         assert repro.compile("(ab)*") is not first
 
     def test_failed_compiles_do_not_inflate_evictions(self):
@@ -234,7 +234,7 @@ class TestCompileCache:
 
         with pytest.raises(RegexSyntaxError):
             repro.compile("((")
-        stats = repro.cache_stats()
+        stats = repro.stats()["pattern_cache"]
         assert stats["misses"] == 1  # the attempt is counted ...
         assert stats["evictions"] == 0  # ... but nothing was inserted or evicted
 
@@ -250,31 +250,42 @@ class TestCompileCache:
         assert shared_row_count() == 0  # weak registry: no leak after eviction
 
     def test_eviction_counter_tracks_lru_overflow(self):
-        assert repro.cache_stats()["evictions"] == 0
+        assert repro.stats()["pattern_cache"]["evictions"] == 0
         overflow = 5
         for index in range(repro.COMPILE_CACHE_SIZE + overflow):
             repro.compile(Sym(f"s{index}"))
-        stats = repro.cache_stats()
+        stats = repro.stats()["pattern_cache"]
         assert stats["size"] == repro.COMPILE_CACHE_SIZE == stats["max_size"]
         assert stats["evictions"] == overflow
         assert stats["misses"] == repro.COMPILE_CACHE_SIZE + overflow
 
-    def test_pattern_cache_stats_combines_cache_and_runtime(self):
+    def test_pattern_stats_reports_runtime_counters(self):
         pattern = repro.compile("(ab+b(b?)a)*")
-        assert pattern.runtime_stats() is None  # nothing matched yet
-        assert pattern.cache_stats()["runtime"] is None
+        assert pattern.stats() is None  # nothing matched yet
         pattern.match("abba")
-        stats = pattern.cache_stats()
-        assert stats["pattern_cache"]["misses"] >= 1
-        runtime = stats["runtime"]
+        runtime = pattern.stats()
         assert runtime["misses"] > 0
         assert runtime["transitions_memoized"] == runtime["misses"]
         assert {"dense_rows", "shared_rows"} <= set(runtime)
 
+    def test_deprecated_stats_aliases_warn_and_delegate(self):
+        pattern = repro.compile("(ab+b(b?)a)*")
+        pattern.match("abba")
+        with pytest.deprecated_call():
+            assert pattern.runtime_stats() == pattern.stats()
+        with pytest.deprecated_call():
+            combined = pattern.cache_stats()
+        assert combined["runtime"] == pattern.stats()
+        assert combined["pattern_cache"]["misses"] >= 1
+        with pytest.deprecated_call():
+            assert repro.cache_stats() == repro.stats()["pattern_cache"]
+        with pytest.deprecated_call():
+            assert set(repro.snapshot_stats()) == set(repro.stats()["snapshot"])
+
     def test_uncompiled_pattern_reports_no_runtime(self):
         pattern = repro.compile("(ab)*", compiled=False)
         pattern.match("ab")  # builds the matcher but no runtime
-        assert pattern.runtime_stats() is None
+        assert pattern.stats() is None
 
     def test_cached_pattern_shares_warm_runtime(self):
         pattern = repro.compile("(ab+b(b?)a)*")

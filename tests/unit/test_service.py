@@ -92,7 +92,7 @@ class TestValidateDocuments:
     def test_dtd_verdicts_match_direct_validation(self):
         documents = _documents(40, random.Random(3))
         validator = DTDValidator(parse_dtd(DTD_TEXT))
-        expected = [not validator.validate(document) for document in documents]
+        expected = [validator.validate(document).valid for document in documents]
         with ValidationService(workers=8) as service:
             verdicts = service.validate_documents(validator, documents)
         assert [verdict.valid for verdict in verdicts] == expected

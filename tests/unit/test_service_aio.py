@@ -295,7 +295,7 @@ class TestRoutes:
                 assert status == 200
                 oracle = repro.Pattern(PATTERN, compiled=False)
                 assert body["verdicts"] == [oracle.match(word) for word in words]
-                assert set(body) == {"pattern", "count", "verdicts", "strategy", "batch_path"}
+                assert set(body) == {"pattern", "count", "detail", "verdicts", "strategy", "batch_path"}
 
         asyncio.run(scenario())
 
@@ -869,18 +869,18 @@ class TestCompileCacheResize:
     def test_resize_rebounds_and_restores(self):
         previous = repro.resize_compile_cache(1024)
         try:
-            assert repro.cache_stats()["max_size"] == 1024
+            assert repro.stats()["pattern_cache"]["max_size"] == 1024
         finally:
             repro.resize_compile_cache(previous)
 
     def test_shrink_evicts_down_to_the_bound(self):
         repro.purge()
-        previous = repro.cache_stats()["max_size"]
+        previous = repro.stats()["pattern_cache"]["max_size"]
         try:
             for index in range(8):
                 repro.compile(f"(a{'b' * (index + 1)})*")
             repro.resize_compile_cache(2)
-            assert repro.cache_stats()["size"] <= 2
+            assert repro.stats()["pattern_cache"]["size"] <= 2
         finally:
             repro.resize_compile_cache(previous)
             repro.purge()
@@ -904,7 +904,7 @@ class TestAutosizer:
             decisions = sizer.sample()
             grown = [d for d in decisions if d["target"] == "compile_cache"]
             assert grown and grown[0]["action"] == "grow"
-            assert repro.cache_stats()["max_size"] == 8
+            assert repro.stats()["pattern_cache"]["max_size"] == 8
         finally:
             repro.resize_compile_cache(previous)
             repro.purge()
@@ -919,7 +919,7 @@ class TestAutosizer:
             decisions = sizer.sample()
             shrunk = [d for d in decisions if d["target"] == "compile_cache"]
             assert shrunk and shrunk[0]["action"] == "shrink"
-            assert repro.cache_stats()["max_size"] == 256
+            assert repro.stats()["pattern_cache"]["max_size"] == 256
         finally:
             repro.resize_compile_cache(previous)
             repro.purge()

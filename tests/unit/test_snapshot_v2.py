@@ -110,11 +110,11 @@ class TestV2RoundTrip:
     def test_save_load_counts_into_telemetry(self, tmp_path):
         path = tmp_path / "state.snapshot"
         _warm_everything()
-        before = repro.snapshot_stats()
+        before = repro.stats()["snapshot"]
         repro.save_snapshot(str(path))
         repro.purge()
         repro.load_snapshot(str(path))
-        stats = repro.snapshot_stats()
+        stats = repro.stats()["snapshot"]
         assert stats["format_v2"] == before["format_v2"] + 1
         assert stats["tables_saved"] == before["tables_saved"] + 1
         assert stats["tables_loaded"] == before["tables_loaded"] + 1
@@ -140,10 +140,10 @@ class TestV2RoundTrip:
         assert saved["memo_patterns"] >= 1
 
     def test_materialized_gauge_tracks_all_sections(self):
-        base = repro.snapshot_stats()["materialized"]
+        base = repro.stats()["snapshot"]["materialized"]
         assert base["total"] == 0
         _warm_everything()
-        gauge = repro.snapshot_stats()["materialized"]
+        gauge = repro.stats()["snapshot"]["materialized"]
         assert gauge["transitions"] > 0
         assert gauge["star_free_entries"] > 0
         assert gauge["memo_entries"] > 0
@@ -176,13 +176,13 @@ class TestV1Compatibility:
         assert snapshot_format.describe_file(path)["format"] == 1
 
         repro.purge()
-        before = repro.snapshot_stats()["format_v1"]
+        before = repro.stats()["snapshot"]["format_v1"]
         report = repro.load_snapshot(str(path))
         assert report["format"] == 1
         assert report["patterns_loaded"] == 1
         assert report["rows_loaded"] == written["rows"]
         assert report["tables_loaded"] == 0 and report["memos_loaded"] == 0
-        assert repro.snapshot_stats()["format_v1"] == before + 1
+        assert repro.stats()["snapshot"]["format_v1"] == before + 1
         restored = repro.compile(ROWS_EXPR)
         oracle = repro.Pattern(ROWS_EXPR, compiled=False)
         assert [restored.match(w) for w in ROWS_WORDS] == [oracle.match(w) for w in ROWS_WORDS]
@@ -205,11 +205,11 @@ class TestSectionDegradation:
         repro.save_snapshot(str(path))
         self._flip_in_section(path, corrupt)
         repro.purge()
-        before = repro.snapshot_stats()["snapshot_rejected"]
+        before = repro.stats()["snapshot"]["snapshot_rejected"]
         report = repro.load_snapshot(str(path))
         assert report["rejected"] >= 1, report
-        assert repro.snapshot_stats()["snapshot_rejected"] > before
-        assert repro.snapshot_stats()["rejected_reasons"].get("checksum", 0) >= 1
+        assert repro.stats()["snapshot"]["snapshot_rejected"] > before
+        assert repro.stats()["snapshot"]["rejected_reasons"].get("checksum", 0) >= 1
         if corrupt != "ROWS":
             assert report["patterns_loaded"] >= 2
         if corrupt != "SFTB":
@@ -266,10 +266,10 @@ class TestSectionDegradation:
         for tag in ("ROWS", "SFTB", "MEMO"):
             self._flip_in_section(path, tag)
         repro.purge()
-        before = repro.snapshot_stats()
+        before = repro.stats()["snapshot"]
         report = repro.load_snapshot(str(path))
         assert report["rejected"] == 3, report
-        stats = repro.snapshot_stats()
+        stats = repro.stats()["snapshot"]
         assert stats["loads"] == before["loads"], "an all-rejected file was counted as a load"
         assert stats["format_v2"] == before["format_v2"]
         assert _verdicts_now() == _oracle()
@@ -314,7 +314,7 @@ class TestSectionDegradation:
         report = repro.load_snapshot(str(path))
         assert report["rejected"] == 1
         assert report["tables_loaded"] == 0
-        assert repro.snapshot_stats()["rejected_reasons"].get("fingerprint", 0) >= 1
+        assert repro.stats()["snapshot"]["rejected_reasons"].get("fingerprint", 0) >= 1
         oracle = repro.Pattern(STAR_FREE_EXPR, compiled=False)
         fresh = repro.compile(STAR_FREE_EXPR)
         assert fresh.match_all(STAR_FREE_WORDS) == [
@@ -519,14 +519,14 @@ class TestSnapshotEndpoint:
         assert _verdicts_now() == _oracle()
 
     def test_fetch_failure_degrades_to_cold_start(self):
-        before = repro.snapshot_stats()["snapshot_rejected"]
+        before = repro.stats()["snapshot"]["snapshot_rejected"]
         report = repro.load_snapshot("http://127.0.0.1:9/snapshot")  # closed port
         assert report["rejected"] == 1
         assert report["patterns_loaded"] == 0
-        stats = repro.snapshot_stats()
+        stats = repro.stats()["snapshot"]
         assert stats["snapshot_rejected"] == before + 1
         assert stats["rejected_reasons"].get("fetch", 0) >= 1
-        assert repro.compile(ROWS_EXPR).match("abba") is True
+        assert repro.compile(ROWS_EXPR).match("abba")
 
     def test_failed_fetches_do_not_leak_file_descriptors(self):
         """A bootstrap retry loop against a dead fleet must not bleed fds."""

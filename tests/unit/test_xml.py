@@ -201,7 +201,7 @@ class TestDTDValidator:
         validator = DTDValidator(self._dtd())
         doc = element("book", element("author"), element("title"))
         violations = validator.validate(doc)
-        assert violations and violations[0].kind == "content"
+        assert not violations.valid and violations[0].kind == "content"
         assert "book" in violations[0].describe()
 
     def test_missing_required_child(self):

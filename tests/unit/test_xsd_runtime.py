@@ -62,11 +62,11 @@ class TestMatcherMemoization:
         schema = _declare(XSDSchema())
         schema.validate_children("item", ["sku", "qty"])
         schema.validate_children("order", ["item"])
-        compiles = repro.cache_stats()["misses"]
+        compiles = repro.stats()["pattern_cache"]["misses"]
         for _ in range(5):
             schema.validate_children("item", ["sku", "qty", "qty"])
             schema.validate_children("order", ["item", "note"])
-        assert repro.cache_stats()["misses"] == compiles
+        assert repro.stats()["pattern_cache"]["misses"] == compiles
 
     def test_redeclaration_invalidates_the_memo(self):
         schema = _declare(XSDSchema())
@@ -83,7 +83,7 @@ class TestCompileCacheRoute:
         first = _declare(XSDSchema())
         second = _declare(XSDSchema())
         assert first._pattern_for("item") is second._pattern_for("item")
-        assert repro.cache_stats()["hits"] >= 1
+        assert repro.stats()["pattern_cache"]["hits"] >= 1
 
     def test_schema_and_runtime_rows_warm_across_documents(self):
         schema = _declare(XSDSchema())
@@ -140,9 +140,9 @@ class TestCompileCacheRoute:
         assert all(report.deterministic for report in reports.values())
         assert schema.is_valid_schema()
         # the UPA pass compiled both patterns; validation reuses them
-        compiles = repro.cache_stats()["misses"]
+        compiles = repro.stats()["pattern_cache"]["misses"]
         assert schema.validate_children("item", ["sku", "qty"])
-        assert repro.cache_stats()["misses"] == compiles
+        assert repro.stats()["pattern_cache"]["misses"] == compiles
 
     def test_upa_violation_reported_and_matching_refused(self):
         schema = XSDSchema()
