@@ -35,6 +35,7 @@ def merge(paths: list[str | Path]) -> dict:
     benchmarks: dict[str, dict] = {}
     sources: list[str] = []
     skipped: list[str] = []
+    empty: list[str] = []
     for path in sorted(str(p) for p in paths):
         try:
             data = json.loads(Path(path).read_text())
@@ -43,6 +44,12 @@ def merge(paths: list[str | Path]) -> dict:
             skipped.append(path)
             continue
         sources.append(path)
+        if not entries:
+            # A leg that ran with benchmarks disabled (a missing
+            # --benchmark-enable) writes a well-formed file with zero
+            # entries; it must be visible, not silently merged away.
+            empty.append(path)
+            continue
         for entry in entries:
             try:
                 name = entry["name"]
@@ -63,6 +70,7 @@ def merge(paths: list[str | Path]) -> dict:
     return {
         "benchmarks": dict(sorted(benchmarks.items())),
         "sources": sources,
+        "empty": empty,
         "skipped": skipped,
     }
 
@@ -90,6 +98,8 @@ def to_markdown(merged: dict) -> str:
             f"| `{name}` | {_format_time(record['median_s'])} "
             f"| {record['ops']:,.2f} | {record['rounds']} | {record['source']} |"
         )
+    if merged.get("empty"):
+        lines += ["", f"⚠ Artifacts with zero benchmarks: {', '.join(merged['empty'])}"]
     if merged["skipped"]:
         lines += ["", f"Skipped non-benchmark inputs: {', '.join(merged['skipped'])}"]
     return "\n".join(lines)
@@ -102,11 +112,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--markdown", action="store_true", help="print a markdown table to stdout"
     )
+    parser.add_argument(
+        "--min-files",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail unless at least N input files contribute benchmarks "
+        "(guards against legs whose JSON went missing or merged empty)",
+    )
     arguments = parser.parse_args(argv)
     merged = merge(arguments.inputs)
     Path(arguments.out).write_text(json.dumps(merged, indent=2) + "\n")
     if arguments.markdown:
         print(to_markdown(merged))
+    contributing = len(merged["sources"]) - len(merged["empty"])
+    if contributing < arguments.min_files:
+        print(
+            f"only {contributing} artifact(s) contributed benchmarks, "
+            f"need {arguments.min_files}; "
+            f"empty: {merged['empty'] or 'none'}; skipped: {merged['skipped'] or 'none'}",
+            file=sys.stderr,
+        )
+        return 1
     if not merged["benchmarks"]:
         print("no benchmarks found in the inputs", file=sys.stderr)
         return 1

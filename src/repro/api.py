@@ -51,35 +51,52 @@ True
 ['evictions', 'hits', 'max_size', 'misses', 'size']
 >>> repro.purge()                               # drop the caches
 
+How a match picks its engine: every pattern owns one
+:class:`~repro.matching.plan.ExecutionPlan`, chosen by the strategy
+registry of :data:`repro.matching.plan.PLANNER` — the *same* plan serves
+``match``, ``match_all``, streaming, diagnostics replay, the lexer and
+the XML validators, and :meth:`Pattern.describe` reports its stable
+route name under ``"batch_path"``:
+
+>>> repro.compile("(ab)*").plan.route
+'compiled-kernel'
+>>> repro.compile("(ab)*").describe()["batch_path"]
+'compiled-kernel'
+
 Pass ``compiled=False`` to keep matching on the direct (uncompiled)
 matcher path — useful when instrumenting the paper's algorithms, whose
 per-symbol work is exactly what the benchmarks measure.
 
 The lower-level building blocks (parse trees, follow indexes, skeletons,
 individual matchers) remain available from their subpackages for users
-who want to instrument or extend the algorithms.
+who want to instrument or extend the algorithms.  Process-wide state
+(the compile cache, snapshot persistence) lives in :mod:`repro.cache`.
 """
 
 from __future__ import annotations
 
-import os
 import threading
 import warnings
-from collections import OrderedDict
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
+from . import cache as _cache
+from .cache import (
+    COMPILE_CACHE_SIZE,
+    SNAPSHOT_FETCH_TIMEOUT as SNAPSHOT_FETCH_TIMEOUT,  # noqa: PLC0414 - public re-export
+    load_snapshot,
+    save_snapshot,
+)
 from .core.determinism import DeterminismReport, check_deterministic
 from .core.numeric import NumericDeterminismReport, check_deterministic_numeric
 from .diagnostics import MatchResult
-from .errors import NotDeterministicError, ReproError
+from .errors import NotDeterministicError
 from .matching.base import DeterministicMatcher, MatchRun
 from .matching.dispatch import build_matcher
-from .matching.runtime import CompiledRun, CompiledRuntime, clear_shared_rows, compile_runtime
-from .matching.snapshot import SnapshotError
+from .matching.plan import PLANNER, ExecutionPlan
+from .matching.runtime import CompiledRun, CompiledRuntime, compile_runtime
 from .regex.ast import Regex
 from .regex.parse_tree import ParseTree, build_parse_tree
 from .regex.parser import parse, parse_word
-from .regex.printer import to_text
 from .regex.properties import classify
 
 
@@ -104,6 +121,13 @@ class Pattern:
     that case matching falls back to the k-occurrence matcher, whose
     transition simulation stays correct because the ambiguous candidates
     are copies of one position with identical continuations.
+
+    *How* a word (or a batch, or a validator child sequence) actually
+    runs is decided exactly once, by the strategy registry of
+    :data:`repro.matching.plan.PLANNER`; the resulting
+    :class:`~repro.matching.plan.ExecutionPlan` is reachable as
+    :attr:`plan` and its stable route name is what :meth:`describe`
+    reports under ``"batch_path"``.
     """
 
     def __init__(
@@ -130,16 +154,16 @@ class Pattern:
         self._compiled = compiled
         self._matcher: DeterministicMatcher | None = None
         self._runtime: CompiledRuntime | None = None
-        #: ``False`` until probed, then a StarFreeMultiMatcher or ``None``
-        self._batch_multi: object = False
+        #: the execution plan (strategy object), planned lazily on first use
+        self._plan: ExecutionPlan | None = None
         #: lazily built whole-sequence acceptance memo (the XML
         #: validators' per-element cache; see :meth:`acceptance_memo`)
         self._acceptance_memo = None
         #: batch-kernel traffic split for this pattern (see runtime_stats)
         self._kernel_words = 0
         self._kernel_fallback_words = 0
-        #: guards lazy construction (matcher, runtime, batch matcher) so
-        #: worker threads sharing one cached pattern build each exactly once
+        #: guards lazy construction (matcher, runtime, plan) so worker
+        #: threads sharing one cached pattern build each exactly once
         self._init_lock = threading.Lock()
 
     # -- determinism -----------------------------------------------------------------
@@ -221,6 +245,26 @@ class Pattern:
                     self._runtime = runtime
         return runtime
 
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The pattern's execution plan (planned once, on first use).
+
+        The single object that owns *which engine runs this pattern* —
+        for single matches, batches, streaming, diagnostics replay, the
+        lexer and the XML validators alike.  Chosen by the strategy
+        registry of :data:`repro.matching.plan.PLANNER`; raises
+        :class:`~repro.errors.NotDeterministicError` when the expression
+        is not deterministic.
+        """
+        plan = self._plan
+        if plan is None:
+            with self._init_lock:
+                plan = self._plan
+                if plan is None:
+                    plan = PLANNER.plan(self)
+                    self._plan = plan
+        return plan
+
     def match(self, word: str | Sequence[str]) -> MatchResult:
         """Match *word* (a string or a sequence of symbols) against the language.
 
@@ -232,22 +276,19 @@ class Pattern:
         hot path as before.
         """
         symbols = parse_word(word)
-        if self._compiled:
-            matched = self.runtime.accepts(symbols)
-        else:
-            matched = self.matcher.accepts(symbols)
-        return MatchResult(matched, symbols, pattern=self)
+        return MatchResult(self.plan.match(symbols), symbols, pattern=self)
 
     def match_all(
         self, words: Iterable[str | Sequence[str]], detail: str = "verdict"
     ) -> list[bool] | list[MatchResult]:
         """Match several words in one batch.
 
-        Each word is parsed and integer-encoded exactly once.  Star-free
-        deterministic patterns then run as *one* encoded-corpus pass of the
-        multi-word matcher (Theorem 4.12) — the whole batch is answered
-        during a single scan of the expression's positions.  Every other
-        pattern runs through the batch kernel
+        Each word is parsed and integer-encoded exactly once; the batch
+        then runs whatever route the pattern's :attr:`plan` owns.
+        Star-free deterministic patterns run as *one* encoded-corpus pass
+        of the multi-word matcher (Theorem 4.12) — the whole batch is
+        answered during a single scan of the expression's positions.
+        Every other compiled pattern runs through the batch kernel
         (:mod:`repro.matching.kernel`): the runtime's rows are flattened
         into one premultiplied scan table, the corpus is dedup-encoded
         once, and each distinct word is a branch-free stride over that
@@ -271,96 +312,8 @@ class Pattern:
         """
         if detail not in ("verdict", "full"):
             raise ValueError(f"unknown detail level {detail!r}: expected 'verdict' or 'full'")
-        if detail == "full":
-            return self._match_all_full(words)
-        if not self._compiled:
-            return [bool(self.match(word)) for word in words]
-        multi = self._batch_matcher()
-        if multi is not None:
-            encoded = self.tree.alphabet.encode_many(parse_word(word) for word in words)
-            return multi.match_all_encoded(encoded)
-        from .matching import kernel
-
         parsed = [parse_word(word) for word in words]
-        runtime = self.runtime
-        # Building a composed table costs milliseconds; only route tiny
-        # batches through the kernel when a program is already cached.
-        if len(parsed) >= kernel.MIN_BATCH or runtime._kernel_programs:
-            result = kernel.match_words(runtime, parsed)
-            if result is not None:
-                verdicts, kernel_words, fallback_words = result
-                with self._init_lock:
-                    self._kernel_words += kernel_words
-                    self._kernel_fallback_words += fallback_words
-                return verdicts
-        accepts_encoded = runtime.accepts_encoded
-        return [accepts_encoded(runtime.encode(word)) for word in parsed]
-
-    def _match_all_full(self, words: Iterable[str | Sequence[str]]) -> list[MatchResult]:
-        """The ``detail="full"`` batch path: one lazy MatchResult per word.
-
-        Compiled batches still run the kernel scan; byte-2 fallback words
-        replay through a :class:`~repro.diagnostics.TraceRecorder` (the
-        kernel's ``replay`` hook), so their recorded traces seed the
-        results and no prefix is walked twice.
-        """
-        from . import diagnostics
-        from .matching import kernel
-
-        parsed = [parse_word(word) for word in words]
-        if not self._compiled:
-            matcher = self.matcher
-            return [MatchResult(matcher.accepts(word), word, pattern=self) for word in parsed]
-        runtime = self.runtime
-        if len(parsed) >= kernel.MIN_BATCH or runtime._kernel_programs:
-            recorder = diagnostics.TraceRecorder(runtime)
-            result = kernel.match_words(runtime, parsed, replay=recorder)
-            if result is not None:
-                verdicts, kernel_words, fallback_words = result
-                with self._init_lock:
-                    self._kernel_words += kernel_words
-                    self._kernel_fallback_words += fallback_words
-                results = []
-                for word, verdict in zip(parsed, verdicts):
-                    seed = recorder.traces.get(tuple(runtime.encode(word)))
-                    diagnosis = None
-                    if seed is not None:
-                        diagnosis = diagnostics.complete_from_trace(self, word, seed[0], seed[1])
-                    results.append(MatchResult(verdict, word, pattern=self, diagnosis=diagnosis))
-                return results
-        accepts_encoded = runtime.accepts_encoded
-        return [
-            MatchResult(accepts_encoded(runtime.encode(word)), word, pattern=self)
-            for word in parsed
-        ]
-
-    def _batch_matcher(self):
-        """The star-free multi-matcher for batch calls, or ``None``.
-
-        Built once (lock-guarded) when the pattern qualifies for the
-        Theorem 4.12 path: the rewritten tree must be star-free *and*
-        deterministic under the tree semantics — the ``+``/counter fallback
-        cases run on the k-occurrence matcher, whose transition simulation
-        the multi-matcher does not reproduce.
-        """
-        multi = self._batch_multi
-        if multi is False:
-            with self._init_lock:
-                multi = self._batch_multi
-                if multi is False:
-                    qualifies = (
-                        self.report.deterministic
-                        and self.tree_report.deterministic
-                        and not any(node.is_iteration for node in self.tree.nodes)
-                    )
-                    if qualifies:
-                        from .matching.star_free import StarFreeMultiMatcher
-
-                        multi = StarFreeMultiMatcher(self.tree, verify=False)
-                    else:
-                        multi = None
-                    self._batch_multi = multi
-        return multi
+        return self.plan.match_all(parsed, detail=detail)
 
     def acceptance_memo(self):
         """The pattern's whole-sequence acceptance memo (built on first use).
@@ -392,9 +345,7 @@ class Pattern:
         as they go); both run types expose the same ``feed`` / ``feed_all``
         / ``is_accepting`` / ``consumed`` surface.
         """
-        if self._compiled:
-            return self.runtime.start()
-        return self.matcher.start()
+        return self.plan.stream()
 
     # -- introspection -----------------------------------------------------------------
     @property
@@ -405,7 +356,8 @@ class Pattern:
     def describe(self) -> dict[str, object]:
         """Structural summary of the expression (size, classes, determinism).
 
-        ``"batch_path"`` names the route :meth:`match_all` takes:
+        ``"batch_path"`` is the :attr:`plan`'s stable route name — the
+        route :meth:`match_all` actually takes, not a reconstruction:
         ``"star-free-multi"`` (one encoded-corpus pass, Theorem 4.12),
         ``"compiled-kernel"`` (dedup-encoded corpus strided over the flat
         kernel table, per-word replay as the convergence fallback),
@@ -413,20 +365,11 @@ class Pattern:
         large for a kernel table) or ``"per-word"`` (the uncompiled
         fallback).
         """
-        from .matching import kernel
-
         summary = classify(self.expression)
         summary["deterministic"] = self.is_deterministic
         if self.is_deterministic:
             summary["strategy"] = self.strategy
-            if not self._compiled:
-                summary["batch_path"] = "per-word"
-            elif self._batch_matcher() is not None:
-                summary["batch_path"] = "star-free-multi"
-            elif kernel.eligible(self.tree):
-                summary["batch_path"] = "compiled-kernel"
-            else:
-                summary["batch_path"] = "compiled-runtime"
+            summary["batch_path"] = self.plan.route
         else:
             summary["conflict"] = self.explain()
         return summary
@@ -447,17 +390,21 @@ class Pattern:
             return None
         return getattr(matcher, "_compiled_runtime", None)
 
-    def _built_batch_matcher(self):
-        """The star-free multi-matcher if it already exists, without forcing it.
+    def _built_plan(self) -> ExecutionPlan | None:
+        """The execution plan if already planned, without forcing it.
 
         The telemetry/persistence counterpart of :meth:`_built_runtime`:
-        returns ``None`` until some ``match_all`` call has routed through
-        the Theorem-4.12 batch path.
+        snapshot walks read the star-free tables off the plan's
+        ``built_star_free()`` accessor, which stays ``None`` until some
+        call has routed through the Theorem-4.12 batch path.
         """
-        multi = self._batch_multi
-        if multi is False or multi is None:
-            return None
-        return multi
+        return self._plan
+
+    def _record_kernel_traffic(self, kernel_words: int, fallback_words: int) -> None:
+        """Book one kernel batch's traffic split (called by the plan)."""
+        with self._init_lock:
+            self._kernel_words += kernel_words
+            self._kernel_fallback_words += fallback_words
 
     def stats(self) -> dict[str, int] | None:
         """Lazy-DFA materialization stats, or ``None`` before any matching.
@@ -502,7 +449,7 @@ class Pattern:
             DeprecationWarning,
             stacklevel=2,
         )
-        return {"pattern_cache": _cache_stats(), "runtime": self.stats()}
+        return {"pattern_cache": _cache.compile_cache_stats(), "runtime": self.stats()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         verdict = "deterministic" if self.is_deterministic else "non-deterministic"
@@ -516,138 +463,6 @@ def _uses_extended_operators(expr: Regex) -> bool:
     return any(isinstance(node, (Plus, Repeat)) for node in expr.iter_nodes())
 
 
-#: Size of the module-level compile cache.  512 comfortably covers the
-#: content models of the largest schemas in the Grijzenhout/Li corpora
-#: while bounding memory for adversarial streams of distinct patterns.
-COMPILE_CACHE_SIZE = 512
-
-
-class _PatternCache:
-    """A thread-safe LRU of compiled patterns (replaces ``functools.lru_cache``).
-
-    The ``lru_cache`` it replaces had a latent race with :func:`purge`:
-    eviction bookkeeping lived in a module global (``_build_count``) that a
-    purge reset *before* ``cache_clear()`` ran, so a concurrent miss could
-    finish its construction in between, re-insert into the supposedly
-    cleared cache, and leave the dense-row registry (cleared separately,
-    later) referencing rows the cache no longer knew about — eviction
-    counts could even go negative.  Here every mutation — hit bookkeeping,
-    the whole miss (count, build, insert, evict) and the purge (entries,
-    counters *and* the shared dense-row registry) — happens under one
-    re-entrant mutex, so a purge is strictly before or strictly after any
-    insertion and the registry clear is atomic with the cache clear.
-
-    Reads stay cheap — and never stall behind a build: the warm path
-    probes the dictionary without any lock (a single ``dict.get``, atomic
-    under the GIL), counts the hit under a dedicated counter mutex that no
-    slow operation ever holds, and bumps the LRU recency only if the
-    writer mutex is free right now (``acquire(blocking=False)``) — while a
-    miss is constructing a large pattern, concurrent warm hits return
-    immediately with at worst slightly stale recency ordering.  A probe
-    that races a purge simply returns the still-valid pre-purge pattern to
-    its caller without re-inserting it — in-flight work keeps its pattern,
-    the cache stays empty.
-    """
-
-    __slots__ = ("maxsize", "lock", "_count_lock", "_entries", "hits", "misses", "insertions")
-
-    def __init__(self, maxsize: int):
-        self.maxsize = maxsize
-        #: writer mutex (entries + eviction); re-entrant so a build that
-        #: (now or in the future) compiles a sub-pattern through
-        #: :func:`compile` cannot self-deadlock
-        self.lock = threading.RLock()
-        #: counter mutex: held only for integer bumps and snapshots, never
-        #: while building, so hit accounting cannot block on a slow miss.
-        #: Lock order where both are taken: ``lock`` before ``_count_lock``.
-        self._count_lock = threading.Lock()
-        self._entries: "OrderedDict[tuple, Pattern]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        #: successful constructions since the last purge; a failed build
-        #: (syntax error) counts as a miss but inserts nothing, so the
-        #: eviction count must be derived from insertions, not misses
-        self.insertions = 0
-
-    def _count_hit(self, key: tuple) -> None:
-        with self._count_lock:
-            self.hits += 1
-        if self.lock.acquire(blocking=False):  # recency is best-effort
-            try:
-                self._entries.move_to_end(key)
-            except KeyError:
-                pass  # evicted/purged between probe and bump; see class docstring
-            finally:
-                self.lock.release()
-
-    def get_or_build(self, key: tuple, build: Callable[[], "Pattern"]) -> "Pattern":
-        pattern = self._entries.get(key)  # optimistic lock-free probe
-        if pattern is not None:
-            self._count_hit(key)
-            return pattern
-        with self.lock:
-            pattern = self._entries.get(key)
-            if pattern is not None:  # another thread built it while we waited
-                with self._count_lock:
-                    self.hits += 1
-                self._entries.move_to_end(key)
-                return pattern
-            # Single-writer miss path: construction runs under the writer
-            # lock, so concurrent misses for one key build once and purge
-            # is atomic with respect to the insertion.
-            with self._count_lock:
-                self.misses += 1
-            pattern = build()
-            with self._count_lock:
-                self.insertions += 1
-            self._entries[key] = pattern
-            if len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-            return pattern
-
-    def purge(self) -> None:
-        with self.lock:
-            with self._count_lock:
-                self._entries.clear()
-                self.hits = self.misses = self.insertions = 0
-            clear_shared_rows()
-
-    def resize(self, maxsize: int) -> int:
-        """Change the cache bound; returns the previous bound.
-
-        Shrinking evicts the least-recently-used overflow immediately
-        (under the writer lock, atomic with concurrent misses); growing
-        just raises the bound.  In-flight matches keep any pattern they
-        already hold — eviction only drops the cache's reference.
-        """
-        if maxsize < 1:
-            raise ValueError("cache size must be >= 1")
-        with self.lock:
-            previous = self.maxsize
-            self.maxsize = maxsize
-            while len(self._entries) > maxsize:
-                self._entries.popitem(last=False)
-            return previous
-
-    def items(self) -> list[tuple[tuple, "Pattern"]]:
-        """A consistent (key, pattern) snapshot of the live entries."""
-        with self.lock:
-            return list(self._entries.items())
-
-    def stats(self) -> dict[str, int]:
-        with self._count_lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.insertions - len(self._entries),
-                "size": len(self._entries),
-                "max_size": self.maxsize,
-            }
-
-
-_CACHE = _PatternCache(COMPILE_CACHE_SIZE)
-
-
 def _compile_cached(expr: Regex | str, dialect: str, strategy: str, compiled: bool) -> Pattern:
     """The memoized constructor behind :func:`compile` (``re._compile`` idiom).
 
@@ -656,7 +471,7 @@ def _compile_cached(expr: Regex | str, dialect: str, strategy: str, compiled: bo
     mutates its inputs — its lazily built matcher and runtime are exactly
     the state the cache exists to retain across calls.
     """
-    return _CACHE.get_or_build(
+    return _cache.PATTERN_CACHE.get_or_build(
         (expr, dialect, strategy, compiled),
         lambda: Pattern(expr, dialect=dialect, strategy=strategy, compiled=compiled),
     )
@@ -689,7 +504,7 @@ def purge() -> None:
     in-flight matches too: live patterns and runtimes keep the rows they
     already reference.
     """
-    _CACHE.purge()
+    _cache.PATTERN_CACHE.purge()
 
 
 def resize_compile_cache(maxsize: int) -> int:
@@ -709,7 +524,7 @@ def resize_compile_cache(maxsize: int) -> int:
     1024
     >>> _ = repro.resize_compile_cache(previous)
     """
-    return _CACHE.resize(maxsize)
+    return _cache.PATTERN_CACHE.resize(maxsize)
 
 
 def iter_cached_patterns() -> list[tuple[tuple, "Pattern"]]:
@@ -720,28 +535,7 @@ def iter_cached_patterns() -> list[tuple[tuple, "Pattern"]]:
     pattern, without forcing any lazy construction.  Cache keys are
     ``(expr, dialect, strategy, compiled)`` tuples.
     """
-    return _CACHE.items()
-
-
-def _cache_stats() -> dict[str, int]:
-    """Hit/miss/eviction counters of the compile cache (tests and telemetry).
-
-    ``evictions`` is derived: every successful construction inserts one
-    entry and only LRU eviction removes one (``purge`` resets all
-    counters), so evictions = insertions − live entries.  Failed compiles
-    (syntax errors) count as misses but not insertions.  The snapshot is
-    taken under the cache lock, so the counters are mutually consistent
-    even while worker threads compile (``GET /stats`` on the validation
-    service reads them mid-traffic).  Sustained growth of the eviction
-    number is the signal to raise :data:`COMPILE_CACHE_SIZE` — see
-    ``examples/xsd_validation.py`` for reading these under a real
-    validation workload.
-
-    This is the internal, warning-free entry point; the public surface
-    is ``repro.stats()["pattern_cache"]`` (:func:`cache_stats` is its
-    deprecated alias).
-    """
-    return _CACHE.stats()
+    return _cache.PATTERN_CACHE.items()
 
 
 def cache_stats() -> dict[str, int]:
@@ -751,506 +545,7 @@ def cache_stats() -> dict[str, int]:
         DeprecationWarning,
         stacklevel=2,
     )
-    return _CACHE.stats()
-
-
-class _SnapshotTelemetry:
-    """Process-wide counters behind :func:`snapshot_stats` (thread-safe)."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.saves = 0
-        self.loads = 0
-        self.format_v1 = 0
-        self.format_v2 = 0
-        self.patterns_saved = 0
-        self.rows_saved = 0
-        self.tables_saved = 0
-        self.memo_entries_saved = 0
-        self.patterns_skipped = 0
-        self.patterns_loaded = 0
-        self.rows_loaded = 0
-        self.tables_loaded = 0
-        self.memo_entries_loaded = 0
-        self.snapshot_rejected = 0
-        self.rejected_reasons: dict[str, int] = {}
-        self.last_error: str | None = None
-
-    def record_save(
-        self,
-        patterns: int,
-        rows: int,
-        skipped: int,
-        tables: int = 0,
-        memo_entries: int = 0,
-    ) -> None:
-        with self._lock:
-            self.saves += 1
-            self.patterns_saved += patterns
-            self.rows_saved += rows
-            self.patterns_skipped += skipped
-            self.tables_saved += tables
-            self.memo_entries_saved += memo_entries
-
-    def record_load(
-        self,
-        patterns: int,
-        rows: int,
-        tables: int = 0,
-        memo_entries: int = 0,
-        format_version: int = 2,
-    ) -> None:
-        with self._lock:
-            self.loads += 1
-            self.patterns_loaded += patterns
-            self.rows_loaded += rows
-            self.tables_loaded += tables
-            self.memo_entries_loaded += memo_entries
-            if format_version == 1:
-                self.format_v1 += 1
-            else:
-                self.format_v2 += 1
-
-    def record_reject(self, reason: str, message: str) -> None:
-        with self._lock:
-            self.snapshot_rejected += 1
-            self.rejected_reasons[reason] = self.rejected_reasons.get(reason, 0) + 1
-            self.last_error = message
-
-    def stats(self) -> dict:
-        with self._lock:
-            return {
-                "saves": self.saves,
-                "loads": self.loads,
-                "format_v1": self.format_v1,
-                "format_v2": self.format_v2,
-                "patterns_saved": self.patterns_saved,
-                "rows_saved": self.rows_saved,
-                "tables_saved": self.tables_saved,
-                "memo_entries_saved": self.memo_entries_saved,
-                "patterns_skipped": self.patterns_skipped,
-                "patterns_loaded": self.patterns_loaded,
-                "rows_loaded": self.rows_loaded,
-                "tables_loaded": self.tables_loaded,
-                "memo_entries_loaded": self.memo_entries_loaded,
-                "snapshot_rejected": self.snapshot_rejected,
-                "rejected_reasons": dict(self.rejected_reasons),
-                "last_error": self.last_error,
-            }
-
-
-_SNAPSHOT_TELEMETRY = _SnapshotTelemetry()
-
-
-def _snapshot_meta(key: tuple, pattern: Pattern) -> dict | None:
-    """The reconstruction identity of a cached pattern, or ``None``.
-
-    A snapshot entry must let a *fresh* process rebuild the identical
-    cache entry: same cache key, same parse tree, same row encoding.
-    String-keyed patterns reuse their original text; AST-keyed ones
-    (content models compiled by the DTD/XSD validators) are printed and
-    re-parsed, and any expression whose text round-trip does not
-    reproduce the exact AST is skipped rather than persisted wrongly.
-    """
-    expr, dialect, strategy, compiled = key
-    if isinstance(expr, str):
-        key_kind = "text"
-        text = expr
-        parse_dialect = dialect
-        try:
-            if parse(text, dialect=dialect) != pattern.expression:
-                return None
-        except ReproError:
-            return None
-    else:
-        key_kind = "ast"
-        for parse_dialect, printer_dialect in (("paper", "paper"), ("named", "named")):
-            try:
-                text = to_text(expr, dialect=printer_dialect)
-                if parse(text, dialect=parse_dialect) == expr:
-                    break
-            except (ReproError, ValueError):
-                continue
-        else:
-            return None
-    alphabet = pattern.tree.alphabet.as_list()
-    return {
-        "expr": text,
-        "parse_dialect": parse_dialect,
-        "key_kind": key_kind,
-        "dialect": dialect,
-        "strategy": strategy,
-        "compiled": bool(compiled),
-        "alphabet": alphabet,
-        "positions": len(pattern.tree.positions),
-        "width": len(alphabet),
-    }
-
-
-def save_snapshot(path: str, complete: bool = True) -> dict:
-    """Persist every warm pattern's materialized state to *path* (atomically).
-
-    Walks the compile cache and writes one checksummed format-v2 file
-    (:func:`repro.matching.snapshot.write`) with up to three sections per
-    the state each pattern holds:
-
-    * dense lazy-DFA rows
-      (:meth:`~repro.matching.runtime.CompiledRuntime.export_rows`; with
-      *complete*, visited dict rows are densified and all acceptance
-      verdicts resolved first, so the snapshot replays with zero matcher
-      delegations);
-    * the star-free multi-matcher's decision/acceptance tables
-      (:meth:`~repro.matching.star_free.StarFreeMultiMatcher.export_tables`);
-    * the validators' per-element acceptance memos
-      (:meth:`~repro.xml.memo.AcceptanceMemo.export`).
-
-    Patterns with no materialized state in any section — or whose
-    expression text does not round-trip — are skipped and counted.
-    Returns ``{"path", "patterns", "rows", "pool_rows",
-    "star_free_patterns", "decisions", "memo_patterns", "memo_entries",
-    "sections", "bytes", "skipped"}``.
-    """
-    from .matching import snapshot as snapshot_format
-
-    rows_entries = []
-    table_entries = []
-    memo_entries = []
-    skipped = 0
-    for key, pattern in _CACHE.items():
-        row_export = None
-        runtime = pattern._built_runtime()
-        if runtime is not None:
-            row_export = runtime.export_rows(complete=complete)
-            if not row_export["rows"]:
-                row_export = None
-        table_export = None
-        multi = pattern._built_batch_matcher()
-        if multi is not None:
-            table_export = multi.export_tables()
-            if not table_export["accepts"] and not table_export["decisions"]:
-                table_export = None
-        memo = pattern._acceptance_memo
-        memo_export = memo.export() if memo is not None and len(memo) else None
-        if row_export is None and table_export is None and memo_export is None:
-            skipped += 1
-            continue
-        meta = _snapshot_meta(key, pattern)
-        if meta is None:
-            skipped += 1
-            continue
-        fingerprint = snapshot_format.pattern_fingerprint(meta)
-        if row_export is not None:
-            rows_entries.append(
-                {
-                    "fingerprint": fingerprint,
-                    "meta": meta,
-                    "accepts": row_export["accepts"],
-                    "rows": row_export["rows"],
-                }
-            )
-        if table_export is not None:
-            table_entries.append(
-                {
-                    "fingerprint": fingerprint,
-                    "meta": meta,
-                    "accepts": table_export["accepts"],
-                    "decisions": table_export["decisions"],
-                }
-            )
-        if memo_export is not None:
-            memo_entries.append(
-                {"fingerprint": fingerprint, "meta": meta, "entries": memo_export}
-            )
-    written = snapshot_format.write(path, rows_entries, star_free=table_entries, memos=memo_entries)
-    _SNAPSHOT_TELEMETRY.record_save(
-        written["patterns"],
-        written["rows"],
-        skipped,
-        tables=written["star_free_patterns"],
-        memo_entries=written["memo_entries"],
-    )
-    return {"path": str(path), "skipped": skipped, **written}
-
-
-#: Timeout (seconds) for fetching a snapshot over HTTP (``--snapshot-url``).
-SNAPSHOT_FETCH_TIMEOUT = 30.0
-
-
-def _resolve_snapshot_pattern(meta: dict, fingerprint: bytes) -> Pattern:
-    """Recompile the pattern a snapshot entry describes and verify identity.
-
-    Re-derives the fingerprint from the *live* pattern (current parser,
-    tree builder, alphabet encoding) and raises ``SnapshotError
-    ("fingerprint")`` on any drift — stale snapshots retire themselves.
-    """
-    from .matching import snapshot as snapshot_format
-
-    if meta.get("key_kind") == "text":
-        expr: Regex | str = meta["expr"]
-    else:
-        expr = parse(meta["expr"], dialect=meta["parse_dialect"])
-    pattern = compile(
-        expr,
-        dialect=meta["dialect"],
-        strategy=meta["strategy"],
-        compiled=bool(meta["compiled"]),
-    )
-    live = dict(meta)
-    live["alphabet"] = pattern.tree.alphabet.as_list()
-    live["positions"] = len(pattern.tree.positions)
-    live["width"] = len(pattern.tree.alphabet)
-    if snapshot_format.pattern_fingerprint(live) != fingerprint:
-        raise SnapshotError(
-            "fingerprint",
-            f"snapshot entry for {meta.get('expr')!r} does not match this build",
-        )
-    return pattern
-
-
-def _load_snapshot_url(url: str) -> dict:
-    """Fetch a snapshot over HTTP (``GET /snapshot``) and load it.
-
-    The fleet-bootstrap path: a fresh host downloads the current file
-    from a running server into a temporary file, loads it exactly like a
-    local snapshot, then unlinks the temp file (the mmap keeps the pages
-    alive for every adopted row).  A fetch failure is a counted
-    ``"fetch"`` rejection — the host simply boots cold.
-    """
-    import http.client
-    import shutil
-    import tempfile
-    import urllib.error
-    import urllib.request
-
-    try:
-        fd, temp_path = tempfile.mkstemp(prefix=".snapshot-fetch-")
-        try:
-            # fdopen first: it owns the descriptor from here on, so a
-            # failed urlopen cannot leak the mkstemp fd (a bootstrap
-            # retry loop against a dead fleet must not bleed fds).
-            with os.fdopen(fd, "wb") as handle:
-                with urllib.request.urlopen(url, timeout=SNAPSHOT_FETCH_TIMEOUT) as response:
-                    shutil.copyfileobj(response, handle)
-        except BaseException:
-            os.unlink(temp_path)
-            raise
-    except (OSError, urllib.error.URLError, http.client.HTTPException, ValueError) as error:
-        # HTTPException covers protocol-level garbage (BadStatusLine from
-        # a non-HTTP endpoint or broken proxy) — still just a cold start.
-        message = f"cannot fetch snapshot from {url!r}: {error}"
-        _SNAPSHOT_TELEMETRY.record_reject("fetch", message)
-        return {
-            "path": url,
-            "url": url,
-            "format": None,
-            "patterns_loaded": 0,
-            "rows_loaded": 0,
-            "tables_loaded": 0,
-            "table_entries_loaded": 0,
-            "memos_loaded": 0,
-            "memo_entries_loaded": 0,
-            "rejected": 1,
-            "errors": [message],
-        }
-    try:
-        result = load_snapshot(temp_path)
-    finally:
-        try:
-            # POSIX: the mmap holds the inode; adopted rows stay valid.
-            os.unlink(temp_path)
-        except OSError:  # pragma: no cover - platform-specific
-            pass
-    result["url"] = url
-    result["path"] = url
-    return result
-
-
-def load_snapshot(path: str) -> dict:
-    """Adopt the warm state persisted at *path* (or an ``http(s)://`` URL).
-
-    The file is mmap'd read-only (loading it in a parent before forking
-    shares the row pages copy-on-write across every worker); each entry
-    re-compiles its pattern from the recorded identity, re-derives the
-    fingerprint from the *live* pattern and adopts only on an exact
-    match.  All three v2 sections are adopted independently — dense rows
-    into the compiled runtimes, star-free tables into the Theorem-4.12
-    batch matchers, acceptance memos onto the patterns — and v1 files
-    (rows only) still load, counted under ``format_v1``.  Given an
-    ``http://``/``https://`` URL the file is first fetched from a
-    running server's ``GET /snapshot`` (fleet bootstrap).
-
-    Corrupt or stale input degrades, never breaks: any validation
-    failure — at the file level, per section, or per entry — is counted
-    in :func:`snapshot_stats` under ``snapshot_rejected`` and matching
-    simply proceeds with the normal lazy rebuild of that piece.  Adopted
-    rows keep the underlying mapping alive for as long as they are
-    referenced; the snapshot object itself is not retained.  Returns
-    ``{"path", "format", "patterns_loaded", "rows_loaded",
-    "kernel_ready_loaded", "tables_loaded", "table_entries_loaded",
-    "memos_loaded", "memo_entries_loaded", "rejected", "errors"}``;
-    ``kernel_ready_loaded`` counts entries that adopted the *whole*
-    machine, whose first batch call therefore exports a zero-fallback
-    kernel program without ever building a matcher.
-    """
-    from .matching import snapshot as snapshot_format
-
-    source = os.fspath(path) if not isinstance(path, str) else path
-    if isinstance(source, str) and source.startswith(("http://", "https://")):
-        return _load_snapshot_url(source)
-
-    result: dict = {
-        "path": str(path),
-        "format": None,
-        "patterns_loaded": 0,
-        "rows_loaded": 0,
-        "kernel_ready_loaded": 0,
-        "tables_loaded": 0,
-        "table_entries_loaded": 0,
-        "memos_loaded": 0,
-        "memo_entries_loaded": 0,
-        "rejected": 0,
-        "errors": [],
-    }
-
-    def reject(error: Exception, prefix: str = "") -> None:
-        if isinstance(error, SnapshotError):
-            reason, message = error.reason, str(error)
-        else:
-            reason, message = "entry", repr(error)
-        _SNAPSHOT_TELEMETRY.record_reject(reason, prefix + message)
-        result["rejected"] += 1
-        result["errors"].append(prefix + message)
-
-    try:
-        snapshot = snapshot_format.load(path)
-    except SnapshotError as error:
-        reject(error)
-        return result
-    result["format"] = snapshot.format_version
-    for tag, section_error in snapshot.section_errors:
-        reject(section_error, prefix=f"section {tag}: ")
-
-    # One pattern typically appears in several sections (rows + tables +
-    # memos); resolve each fingerprint once per load so the bootstrap
-    # window does not re-parse and re-hash the same expression per
-    # section (the cost the bench gate puts on the clock).
-    resolved: dict[bytes, Pattern] = {}
-
-    def resolve(meta: dict, fingerprint: bytes) -> Pattern:
-        pattern = resolved.get(fingerprint)
-        if pattern is None:
-            pattern = _resolve_snapshot_pattern(meta, fingerprint)
-            resolved[fingerprint] = pattern
-        return pattern
-
-    for entry in snapshot.entries:
-        try:
-            pattern = resolve(entry.meta, entry.fingerprint)
-            result["rows_loaded"] += pattern.runtime.adopt_rows(entry.accepts, entry.rows())
-            result["patterns_loaded"] += 1
-            if entry.kernel_ready:
-                # the whole machine adopted: the first batch call exports
-                # a zero-fallback kernel program with the matcher deferred
-                result["kernel_ready_loaded"] += 1
-        except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
-            reject(error)
-    for table_entry in snapshot.star_free:
-        try:
-            pattern = resolve(table_entry.meta, table_entry.fingerprint)
-            multi = pattern._batch_matcher()
-            if multi is None:
-                raise SnapshotError(
-                    "star-free",
-                    f"{table_entry.meta.get('expr')!r} does not take the star-free "
-                    "batch path in this build",
-                )
-            result["table_entries_loaded"] += multi.adopt_tables(
-                table_entry.accepts, table_entry.decisions
-            )
-            result["tables_loaded"] += 1
-        except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
-            reject(error)
-    for memo_entry in snapshot.memos:
-        try:
-            pattern = resolve(memo_entry.meta, memo_entry.fingerprint)
-            result["memo_entries_loaded"] += pattern.acceptance_memo().adopt(memo_entry.entries)
-            result["memos_loaded"] += 1
-        except (SnapshotError, ReproError, KeyError, TypeError, ValueError) as error:
-            reject(error)
-    # No explicit pinning: every adopted row is a memoryview chain rooted
-    # at the snapshot's mmap, so the mapping lives exactly as long as
-    # some runtime still references a row from it — repeated loads of
-    # refreshed snapshots cannot accumulate dead mappings.
-    if snapshot.sections:
-        # A load is counted (and attributed to its format) only when at
-        # least one section validated — a file whose every section was
-        # rejected is a cold start, not a successful load, and must not
-        # look healthy on a dashboard watching loads/format_v2.
-        _SNAPSHOT_TELEMETRY.record_load(
-            result["patterns_loaded"],
-            result["rows_loaded"],
-            tables=result["tables_loaded"],
-            memo_entries=result["memo_entries_loaded"],
-            format_version=snapshot.format_version,
-        )
-    return result
-
-
-def _materialization() -> dict:
-    """Gauge of the matching state currently materialized in this process.
-
-    Walks the compile cache without forcing anything: memoized lazy-DFA
-    transitions/acceptances, star-free decision/acceptance table entries
-    and validator memo entries, plus a ``total``.  The snapshot
-    auto-refresh policy compares ``total`` across time to decide when
-    the on-disk snapshot has gone stale.
-    """
-    patterns = 0
-    transitions = 0
-    star_free_entries = 0
-    memo_entries = 0
-    for _key, pattern in _CACHE.items():
-        patterns += 1
-        runtime = pattern._built_runtime()
-        if runtime is not None:
-            transitions += runtime.materialized()
-        multi = pattern._built_batch_matcher()
-        if multi is not None:
-            table = multi.table_stats()
-            star_free_entries += table["decisions"] + table["accepts"]
-        memo = pattern._acceptance_memo
-        if memo is not None:
-            memo_entries += len(memo)
-    return {
-        "patterns": patterns,
-        "transitions": transitions,
-        "star_free_entries": star_free_entries,
-        "memo_entries": memo_entries,
-        "total": transitions + star_free_entries + memo_entries,
-    }
-
-
-def _snapshot_stats() -> dict:
-    """Process-wide snapshot telemetry (saves, loads, adoption, rejects).
-
-    ``snapshot_rejected`` counts every validation failure — whole files,
-    v2 sections and individual entries — with ``rejected_reasons``
-    breaking them down by kind (``"checksum"``, ``"version"``,
-    ``"fingerprint"``, ``"alphabet-width"``, ``"table-bounds"``,
-    ``"memo-entry"``, ``"fetch"``, ...); rejects are the designed
-    degradation path, so a non-zero count means cold starts, never wrong
-    verdicts.  ``format_v1``/``format_v2`` count successful loads per
-    file format.  ``materialized`` is a live gauge of the state the
-    *next* :func:`save_snapshot` would persist — the auto-refresh thread
-    (:class:`repro.service.prefork.SnapshotRefresher`) watches its
-    ``total``.  Merged into the validation service's ``GET /stats``
-    under ``"snapshot"``.
-
-    This is the internal, warning-free entry point; the public surface
-    is ``repro.stats()["snapshot"]`` (:func:`snapshot_stats` is its
-    deprecated alias).
-    """
-    return {**_SNAPSHOT_TELEMETRY.stats(), "materialized": _materialization()}
+    return _cache.PATTERN_CACHE.stats()
 
 
 def snapshot_stats() -> dict:
@@ -1260,7 +555,7 @@ def snapshot_stats() -> dict:
         DeprecationWarning,
         stacklevel=2,
     )
-    return _snapshot_stats()
+    return _cache.snapshot_stats()
 
 
 def stats() -> dict:
@@ -1284,8 +579,8 @@ def stats() -> dict:
     from .matching import kernel
 
     return {
-        "pattern_cache": _CACHE.stats(),
-        "snapshot": _snapshot_stats(),
+        "pattern_cache": _cache.PATTERN_CACHE.stats(),
+        "snapshot": _cache.snapshot_stats(),
         "kernel": kernel.stats(),
     }
 
@@ -1319,6 +614,34 @@ def is_deterministic(expr: Regex | str, dialect: str = "paper") -> bool:
 def is_deterministic_numeric(expr: Regex | str) -> bool:
     """Counter-aware determinism test for numeric occurrence indicators (Section 3.3)."""
     return check_deterministic_numeric(expr).deterministic
+
+
+#: Former ``repro.api`` private names that now live in :mod:`repro.cache`;
+#: module ``__getattr__`` keeps them importable behind a DeprecationWarning.
+_MOVED_TO_CACHE = {
+    "_PatternCache": "PatternCache",
+    "_CACHE": "PATTERN_CACHE",
+    "_cache_stats": "compile_cache_stats",
+    "_SnapshotTelemetry": "SnapshotTelemetry",
+    "_SNAPSHOT_TELEMETRY": "SNAPSHOT_TELEMETRY",
+    "_snapshot_meta": "snapshot_meta",
+    "_snapshot_stats": "snapshot_stats",
+    "_materialization": "materialization",
+    "_resolve_snapshot_pattern": "resolve_snapshot_pattern",
+    "_load_snapshot_url": "load_snapshot_url",
+}
+
+
+def __getattr__(name: str):
+    target = _MOVED_TO_CACHE.get(name)
+    if target is not None:
+        warnings.warn(
+            f"repro.api.{name} moved to repro.cache.{target}; import it from repro.cache",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_cache, target)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [

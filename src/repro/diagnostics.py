@@ -250,11 +250,13 @@ class _DirectEngine:
 
 
 def _engine_for(pattern: "Pattern"):
-    """The replay adapter matching *pattern*'s execution mode."""
-    exact = pattern.tree_report.deterministic
-    if pattern._compiled:
-        return _CompiledEngine(pattern.runtime, exact)
-    return _DirectEngine(pattern.matcher, exact)
+    """The replay adapter for *pattern*'s execution plan.
+
+    The plan — not this module — owns the strategy decision: compiled
+    routes hand back a :class:`_CompiledEngine` over their runtime,
+    the direct route a :class:`_DirectEngine` over the matcher.
+    """
+    return pattern.plan.replay_for_diagnostics()
 
 
 def _repair_hints(

@@ -41,7 +41,6 @@ from typing import Iterable, Iterator, NamedTuple, Sequence
 
 from .api import Pattern
 from .errors import LexError, NotDeterministicError
-from .matching import kernel
 from .regex.ast import Regex, union
 from .regex.parse_tree import NodeKind
 from .regex.parser import parse
@@ -105,6 +104,10 @@ class Lexer:
                 report=self.pattern.report,
             )
         self._tag_by_state = self._assign_tags(len(parsed))
+        #: the pattern's execution plan owns the engine: it materializes
+        #: the reachable machine, exports the stride-1 scan program and
+        #: drives the maximal-munch loop (see ``repro.matching.plan``)
+        self._plan = self.pattern.plan
         self._program, self._accept_tags = self._compile()
         runtime = self.pattern.runtime
         self._codes = runtime.alphabet.codes
@@ -137,30 +140,15 @@ class Lexer:
         return tag_by_state
 
     def _compile(self):
-        """Materialize the reachable machine and build the scan tables.
+        """Build the tag table over the plan's stride-1 scan program.
 
-        A breadth-first sweep fills every transition and acceptance verdict
-        the scanner can reach, so the exported stride-1 program contains no
-        ``MISS`` edges on live paths and :func:`kernel.longest_match` needs
-        no fallback handling at all.
+        :meth:`ExecutionPlan.scan_program` materializes every transition
+        and acceptance verdict the scanner can reach (a breadth-first
+        sweep), so the exported program contains no ``MISS`` edges on
+        live paths and longest-match scanning needs no fallback handling
+        at all.
         """
-        runtime = self.pattern.runtime
-        width = len(runtime.alphabet)
-        accepting: list[int] = []
-        seen = {runtime._start_state}
-        queue = [runtime._start_state]
-        step = runtime.step
-        while queue:
-            state = queue.pop()
-            if runtime.state_accepts(state):
-                accepting.append(state)
-            for code in range(width):
-                target = step(state, code)
-                if target >= 0 and target not in seen:
-                    seen.add(target)
-                    queue.append(target)
-
-        program = runtime.export_kernel_program(max_stride=1)
+        program, accepting = self._plan.scan_program()
         if program is None:
             raise LexError("the rule set's machine is too large for a kernel table")
         tags = bytearray(len(program.accepts))
@@ -187,14 +175,14 @@ class Lexer:
                 encoded[at] = codes.get(char, unknown)
         else:  # pragma: no cover - needs a >254-symbol alphabet
             encoded = [codes.get(char, unknown) for char in text]
-        program = self._program
+        longest_match = self._plan.longest_match
         tags = self._accept_tags
         skip = self.skip
         names = self.tags
         at = 0
         length = len(encoded)
         while at < length:
-            end, tag = kernel.longest_match(program, tags, encoded, at)
+            end, tag = longest_match(tags, encoded, at)
             if end < 0:
                 raise self._stuck_error(text, encoded, at)
             name = names[tag - 1]

@@ -51,7 +51,7 @@ See ``docs/service.md`` for endpoint shapes and deployment notes.
 """
 
 from .aio import AsyncServiceServer
-from .aio import serve as serve_aio
+from .aio_run import serve as serve_aio
 from .autosize import Autosizer
 from .core import DocumentVerdict, ValidationService
 from .http import ServiceHTTPServer, serve

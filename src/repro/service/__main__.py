@@ -181,7 +181,7 @@ def main(argv: list[str] | None = None) -> None:
     )
     snapshot_source = snapshot_source_for(arguments.snapshot_save, arguments.snapshot)
     if arguments.front == "aio":
-        from .aio import serve as serve_aio
+        from .aio_run import serve as serve_aio
 
         serve_aio(
             host=arguments.host,

@@ -49,25 +49,24 @@ import asyncio
 import hmac
 import json
 import os
-import signal
 import socket
-from http.client import responses as _REASONS
 
 from .. import api
 from ..errors import NotDeterministicError, ReproError
 from ..xml.parser import parse_document
 from . import wire
-from .core import DEFAULT_WORKERS, ValidationService
-from .http import DEFAULT_HOST, DEFAULT_PORT, MAX_BODY_BYTES
-from .prefork import (
-    PUBLISH_INTERVAL,
-    REFRESH_INTERVAL,
-    REFRESH_MIN_GROWTH,
-    SnapshotRefresher,
-    StatsBoard,
-    cluster_payload,
-    _worker_summary,
+from .aio_frames import (
+    COPY_BLOCK as _COPY_BLOCK,
+    DEADLINE_HEADER as DEADLINE_HEADER,  # noqa: PLC0414 - re-exported wire constant
+    body_lines as _body_lines,
+    deadline_seconds as _deadline_seconds,
+    head_bytes as _head_bytes,
+    parse_document_item as _parse_document_text,
+    parse_word_item as _parse_word,
 )
+from .core import ValidationService
+from .http import MAX_BODY_BYTES
+from .prefork import StatsBoard, cluster_payload
 from .wire import WireError
 
 #: Items per micro-batch dispatched to the worker pool.  Small enough
@@ -83,32 +82,6 @@ MAX_PENDING_BATCHES = 8
 
 #: Seconds a keep-alive connection may sit idle between requests.
 IDLE_TIMEOUT = 75.0
-
-#: Request wall-clock bound, milliseconds, set per request.
-DEADLINE_HEADER = "x-repro-deadline-ms"
-
-#: Bytes per read/sendfile-fallback block on the snapshot path.
-_COPY_BLOCK = 64 * 1024
-
-
-def _head_bytes(status: int, headers: list[tuple[str, str]]) -> bytes:
-    reason = _REASONS.get(status, "Unknown")
-    lines = [f"HTTP/1.1 {status} {reason}"]
-    lines.extend(f"{name}: {value}" for name, value in headers)
-    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-
-
-def _deadline_seconds(head: wire.RequestHead) -> float | None:
-    raw = head.headers.get(DEADLINE_HEADER)
-    if raw is None:
-        return None
-    try:
-        ms = float(raw)
-    except ValueError:
-        raise WireError(400, f"invalid {DEADLINE_HEADER} header: {raw!r}") from None
-    if ms <= 0:
-        raise WireError(400, f"{DEADLINE_HEADER} must be positive, got {raw!r}")
-    return ms / 1000.0
 
 
 class _ResponseStarted(Exception):
@@ -812,218 +785,26 @@ class AsyncServiceServer:
 
 
 # ---------------------------------------------------------------------------
-# Body framing (shared by the buffered and streaming paths)
+# Moved-name shims
 # ---------------------------------------------------------------------------
 
-async def _chunked_frames(reader: asyncio.StreamReader):
-    """Decode chunked transfer encoding: yields raw data pieces.
-
-    A frame is consumed in :data:`_COPY_BLOCK` pieces, so one
-    absurdly-sized chunk declared by a client never buffers whole —
-    the line splitter downstream enforces the real per-item bound.
-    """
-    while True:
-        size = wire.parse_chunk_size(await reader.readline())
-        if size == 0:
-            # Drain optional trailers up to the terminating blank line.
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-            return
-        while size > 0:
-            piece = await reader.read(min(_COPY_BLOCK, size))
-            if not piece:
-                raise WireError(400, "request body ended inside a chunk")
-            size -= len(piece)
-            yield piece
-        await reader.readexactly(2)  # the CRLF after each chunk
+#: entry points moved to :mod:`repro.service.aio_run` when this module
+#: was split; the old import paths keep working one release with a
+#: :class:`DeprecationWarning`.
+_MOVED_TO_RUN = ("serve", "run_prefork_worker", "_serve_async")
 
 
-async def _body_lines(reader: asyncio.StreamReader, head: wire.RequestHead):
-    """Yield the request body's NDJSON lines, incrementally.
+def __getattr__(name: str):
+    if name in _MOVED_TO_RUN:
+        import warnings
 
-    Handles both Content-Length and chunked bodies; buffers at most one
-    incomplete line (bounded by :data:`wire.MAX_LINE_BYTES` — 413
-    beyond) plus one transfer frame, never the corpus.
-    """
-    buffer = bytearray()
-    if head.is_chunked():
-        async for frame in _chunked_frames(reader):
-            buffer.extend(frame)
-            for line in wire.split_lines(buffer):
-                yield line
-    else:
-        remaining = head.content_length()
-        if remaining is None:
-            raise WireError(411, "streaming requests need Content-Length or chunked TE")
-        while remaining > 0:
-            data = await reader.read(min(_COPY_BLOCK, remaining))
-            if not data:
-                raise WireError(400, "request body ended before Content-Length")
-            remaining -= len(data)
-            buffer.extend(data)
-            for line in wire.split_lines(buffer):
-                yield line
-    if buffer:  # final line without a trailing newline
-        tail = bytes(buffer)
-        yield tail[:-1] if tail.endswith(b"\r") else tail
-
-
-def _parse_word(line: bytes):
-    try:
-        word = json.loads(line)
-    except (json.JSONDecodeError, UnicodeDecodeError) as error:
-        raise WireError(400, f"invalid NDJSON item: {error}") from None
-    if isinstance(word, str):
-        return word
-    if isinstance(word, list) and all(isinstance(symbol, str) for symbol in word):
-        return word
-    raise WireError(400, "stream items must be strings or lists of symbol strings")
-
-
-def _parse_document_text(line: bytes):
-    try:
-        text = json.loads(line)
-    except (json.JSONDecodeError, UnicodeDecodeError) as error:
-        raise WireError(400, f"invalid NDJSON item: {error}") from None
-    if not isinstance(text, str):
-        raise WireError(400, "stream items must be XML document strings")
-    return text
-
-
-# ---------------------------------------------------------------------------
-# Entry points: standalone and prefork-worker
-# ---------------------------------------------------------------------------
-
-async def _serve_async(
-    host: str,
-    port: int,
-    workers: int,
-    snapshot_source: str | None,
-    refresher,
-    auth_token: str | None,
-    autosizer,
-) -> None:
-    service = ValidationService(workers=workers)
-    if autosizer is not None:
-        service.autosizer = autosizer
-        autosizer.start()
-    front = AsyncServiceServer(service, snapshot_source=snapshot_source, auth_token=auth_token)
-    server = await front.start(host, port)
-    bound_host, bound_port = front.address()
-    if refresher is not None:
-        refresher.start()
-    print(
-        f"repro.service (aio) listening on http://{bound_host}:{bound_port} "
-        f"({workers} pool workers) — POST /match, POST /validate (NDJSON streaming), "
-        "GET /stats, GET /snapshot",
-        flush=True,
-    )
-    try:
-        async with server:
-            await server.serve_forever()
-    finally:
-        if refresher is not None:
-            refresher.stop()
-        if autosizer is not None:
-            autosizer.stop()
-        service.close()
-
-
-def serve(
-    host: str = DEFAULT_HOST,
-    port: int = DEFAULT_PORT,
-    workers: int = DEFAULT_WORKERS,
-    snapshot_source: str | None = None,
-    refresher=None,
-    auth_token: str | None = None,
-    autosizer=None,
-) -> None:
-    """Run the asyncio front until interrupted (``--front aio`` body).
-
-    Mirrors :func:`repro.service.http.serve`; *auth_token* turns on the
-    Bearer check, *autosizer* (an
-    :class:`~repro.service.autosize.Autosizer`) runs the cache-sizing
-    loop alongside the server.
-    """
-    try:
-        asyncio.run(
-            _serve_async(host, port, workers, snapshot_source, refresher, auth_token, autosizer)
+        warnings.warn(
+            f"repro.service.aio.{name} moved to repro.service.aio_run.{name}; "
+            "import it from repro.service.aio_run",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    except KeyboardInterrupt:
-        pass
+        from . import aio_run
 
-
-def run_prefork_worker(
-    listen_socket: socket.socket,
-    board: StatsBoard,
-    slot: int,
-    processes: int,
-    workers: int,
-    snapshot_source: str | None = None,
-    snapshot_save: str | None = None,
-    refresh_interval: float = REFRESH_INTERVAL,
-    refresh_min_growth: int = REFRESH_MIN_GROWTH,
-    auth_token: str | None = None,
-    autosizer=None,
-) -> None:
-    """Body of one forked aio worker: an event loop on the inherited socket.
-
-    The prefork parent binds and forks exactly as for the threaded
-    front (:func:`repro.service.prefork.serve_prefork`); each worker
-    runs one event loop whose ``accept()`` the kernel load-balances
-    across the fleet.  Stats publishing and the snapshot refresher work
-    as in the threaded worker — the refresher stays a daemon thread
-    (``save_snapshot`` is blocking CPU+fsync work that must not run on
-    the loop), while the publisher is a loop task.
-    """
-    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent coordinates shutdown
-    service = ValidationService(workers=workers)
-    if autosizer is not None:
-        service.autosizer = autosizer
-        autosizer.start()
-    refresher: SnapshotRefresher | None = None
-    if snapshot_save:
-        refresher = SnapshotRefresher(
-            snapshot_save,
-            interval=refresh_interval * (1.0 + 0.1 * slot),
-            min_growth=refresh_min_growth,
-        )
-        refresher.start()
-
-    async def worker() -> None:
-        front = AsyncServiceServer(
-            service,
-            snapshot_source=snapshot_source,
-            auth_token=auth_token,
-            board=board,
-            slot=slot,
-            processes=processes,
-        )
-        server = await front.start(sock=listen_socket)
-        loop = asyncio.get_running_loop()
-        stopping = asyncio.Event()
-        loop.add_signal_handler(signal.SIGTERM, stopping.set)
-
-        async def publish() -> None:
-            while True:
-                board.publish(slot, _worker_summary(service))
-                await asyncio.sleep(PUBLISH_INTERVAL)
-
-        publisher = asyncio.create_task(publish())
-        try:
-            await stopping.wait()
-        finally:
-            publisher.cancel()
-            server.close()
-            await server.wait_closed()
-
-    try:
-        asyncio.run(worker())
-    finally:
-        if refresher is not None:
-            refresher.stop()
-        if autosizer is not None:
-            autosizer.stop()
-        service.close()
+        return getattr(aio_run, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

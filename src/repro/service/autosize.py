@@ -37,7 +37,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-from .. import api
+from .. import api, cache
 
 #: Seconds between autosizing ticks (the background-thread default).
 AUTOSIZE_INTERVAL = 10.0
@@ -94,7 +94,7 @@ class Autosizer:
         self.cache_resizes = 0
         self.memo_resizes = 0
         self.decisions: deque[dict] = deque(maxlen=DECISION_LOG)
-        self._cache_last = api._cache_stats()
+        self._cache_last = cache.compile_cache_stats()
         self._cache_idle = 0
         #: per-memo ``(hits+misses, idle ticks)`` keyed by the compile
         #: cache's own key — stable across the memo's lifetime, unlike
@@ -118,7 +118,7 @@ class Autosizer:
         return decisions
 
     def _sample_compile_cache(self) -> list[dict]:
-        stats = api._cache_stats()
+        stats = cache.compile_cache_stats()
         last, self._cache_last = self._cache_last, stats
         evicted = stats["evictions"] - last["evictions"]
         if evicted > 0:
@@ -239,7 +239,7 @@ class Autosizer:
             "ticks": self.ticks,
             "running": self._thread is not None,
             "compile_cache": {
-                "bound": api._cache_stats()["max_size"],
+                "bound": cache.compile_cache_stats()["max_size"],
                 "floor": self.cache_floor,
                 "ceiling": self.cache_ceiling,
                 "resizes": self.cache_resizes,

@@ -34,7 +34,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from .. import api
+from .. import api, cache
 from ..matching import kernel
 from ..matching.runtime import shared_row_count
 from ..regex.ast import Regex
@@ -488,12 +488,12 @@ class ValidationService:
         stats = {
             "service": {"workers": self.workers, "closed": self._closed},
             "requests": requests,
-            "pattern_cache": api._cache_stats(),
+            "pattern_cache": cache.compile_cache_stats(),
             "patterns": patterns,
             "validators": validators,
             "shared_rows": shared_row_count(),
             "kernel": kernel.stats(),
-            "snapshot": api._snapshot_stats(),
+            "snapshot": cache.snapshot_stats(),
         }
         autosizer = self.autosizer
         if autosizer is not None:

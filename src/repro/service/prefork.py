@@ -46,7 +46,7 @@ import threading
 import time
 from http.server import ThreadingHTTPServer
 
-from .. import api
+from .. import api, cache
 from .core import DEFAULT_WORKERS, ValidationService
 from .http import DEFAULT_HOST, DEFAULT_PORT, ServiceHTTPServer, ServiceRequestHandler
 
@@ -146,7 +146,7 @@ class SnapshotRefresher:
         ``None``.  Exposed for tests and for operators wanting a
         synchronous flush (e.g. right before shutdown).
         """
-        level = api._snapshot_stats()["materialized"]["total"]
+        level = cache.snapshot_stats()["materialized"]["total"]
         if level - self._persisted_level < self.min_growth:
             return None
         try:
@@ -160,7 +160,7 @@ class SnapshotRefresher:
         # Re-read after the save: a complete export densifies rows and
         # resolves acceptance verdicts, growing the gauge as a side
         # effect — that state is *in* the snapshot, so it is persisted.
-        self._persisted_level = api._snapshot_stats()["materialized"]["total"]
+        self._persisted_level = cache.snapshot_stats()["materialized"]["total"]
         self.saves += 1
         self.last_report = report
         self.last_error = None
@@ -377,7 +377,7 @@ def _worker_main(
         # on the inherited socket (streaming NDJSON, backpressure,
         # deadlines — see repro.service.aio).  It owns its own refresher
         # + publisher wiring, so hand everything over.
-        from .aio import run_prefork_worker
+        from .aio_run import run_prefork_worker
 
         run_prefork_worker(
             listen_socket,

@@ -30,10 +30,10 @@ from ..api import Pattern, compile as compile_pattern
 from ..diagnostics import ValidationResult, diagnose
 from ..errors import NotDeterministicError
 from ..matching.base import DeterministicMatcher, MatchRun
+from ..matching.plan import PLANNER, ExecutionPlan
 from ..matching.runtime import CompiledRun, CompiledRuntime, aggregate_stats
 from .document import Document, Element
 from .dtd import DTD, ContentModel, content_model_expression, describe_expected
-from .memo import AcceptanceMemo
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,23 +98,19 @@ class DTDValidator:
         self.dtd = dtd
         self.strict = strict
         self.compiled = compiled
-        self._matchers: dict[str, DeterministicMatcher | None] = {}
-        self._runtimes: dict[str, CompiledRuntime | None] = {}
         #: per-element compiled Pattern — the diagnosis layer replays
         #: failing child sequences through it (off the verdict hot path)
         self._patterns: dict[str, Pattern | None] = {}
-        #: per-element acceptance memo (child-sequence → verdict), shared
-        #: through the pattern so every validator of a structurally equal
-        #: content model hits the same warm entries; persisted in the
-        #: ``MEMO`` snapshot section keyed by the pattern's fingerprint.
-        self._memos: dict[str, AcceptanceMemo | None] = {}
+        #: per-element execution plan — the single owner of which engine
+        #: (compiled runtime + acceptance memo, or the direct matcher)
+        #: answers child sequences.  Plans are primed eagerly so the
+        #: per-occurrence cost is one dict probe plus the plan call.
+        self._plans: dict[str, ExecutionPlan | None] = {}
         self._models: dict[str, ContentModel] = dict(dtd.elements)
         for name, model in dtd.elements.items():
             expression = content_model_expression(model)
             if expression is None:
-                self._matchers[name] = None
-                self._runtimes[name] = None
-                self._memos[name] = None
+                self._plans[name] = None
                 self._patterns[name] = None
                 continue
             # The compile cache applies the right determinism semantics (the
@@ -128,9 +124,10 @@ class DTDValidator:
                     f"content model of <{name}> is not deterministic: {pattern.explain()}",
                     report=pattern.report,
                 )
-            self._matchers[name] = pattern.matcher
-            self._runtimes[name] = pattern.runtime if compiled else None
-            self._memos[name] = pattern.acceptance_memo() if compiled else None
+            # ``compiled=False`` overrides the execution mode without
+            # changing the pattern's cache identity: the direct route runs
+            # over the same cached (compiled-capable) pattern.
+            self._plans[name] = PLANNER.plan(pattern, compiled=compiled).prime()
             self._patterns[name] = pattern
 
     # -- document-level API -----------------------------------------------------------------
@@ -237,21 +234,11 @@ class DTDValidator:
             return True
         if model.kind == "empty":
             return not children
-        matcher = self._matchers.get(name)
-        if matcher is None:
+        plan = self._plans.get(name)
+        if plan is None:
             # Mixed content with #PCDATA only: no element children allowed.
             return not children
-        runtime = self._runtimes.get(name)
-        if runtime is not None:
-            memo = self._memos.get(name)
-            if memo is not None:
-                # Whole-sequence fast path: repeated child sequences (the
-                # Li et al. workload) are answered by one dict probe.
-                return memo.accepts(runtime, children)
-            # Batch-encoded fast path: intern the child names once, then run
-            # the memoized integer rows shared across all occurrences.
-            return runtime.accepts_encoded(runtime.encode(children))
-        return matcher.accepts(children)
+        return plan.accepts_children(children)
 
     def stats(self) -> dict[str, dict]:
         """Lazy-DFA materialization telemetry, one entry per content model.
@@ -264,29 +251,33 @@ class DTDValidator:
         cached patterns, so counters include traffic from every validator
         sharing the same content models through the compile cache.
         """
-        stats = aggregate_stats(
-            (name, runtime)
-            for name, runtime in self._runtimes.items()
-            if runtime is not None
-        )
-        stats["memos"] = {
-            name: memo.stats() for name, memo in self._memos.items() if memo is not None
-        }
+        named = []
+        memos = {}
+        for name, plan in self._plans.items():
+            if plan is None:
+                continue
+            runtime = plan.built_runtime()
+            if runtime is not None:
+                named.append((name, runtime))
+            memo = plan.built_memo()
+            if memo is not None:
+                memos[name] = memo.stats()
+        stats = aggregate_stats(named)
+        stats["memos"] = memos
         return stats
 
     def checker_for(self, name: str) -> "StreamingContentChecker | None":
         """A streaming checker for the content model of *name* (or ``None``).
 
-        Compiled validators hand out runs over the shared runtime, so even
-        streaming validation of repeated elements reuses memoized rows.
+        The checker streams over whatever engine the element's execution
+        plan owns — compiled validators hand out runs over the shared
+        runtime, so even streaming validation of repeated elements reuses
+        memoized rows.
         """
-        runtime = self._runtimes.get(name)
-        if runtime is not None:
-            return StreamingContentChecker(runtime)
-        matcher = self._matchers.get(name)
-        if matcher is None:
+        plan = self._plans.get(name)
+        if plan is None:
             return None
-        return StreamingContentChecker(matcher)
+        return StreamingContentChecker(plan)
 
 
 class StreamingContentChecker:
@@ -298,9 +289,10 @@ class StreamingContentChecker:
     and ``complete`` asks whether stopping now yields a valid sequence.
     """
 
-    def __init__(self, matcher: Union[DeterministicMatcher, CompiledRuntime]):
-        # Both the direct matcher and the compiled runtime expose start()
-        # with the same run surface (feed / is_accepting / consumed).
+    def __init__(self, matcher: Union[DeterministicMatcher, CompiledRuntime, ExecutionPlan]):
+        # Matchers, compiled runtimes and execution plans all expose
+        # start() with the same run surface (feed / is_accepting /
+        # consumed) — a plan starts a run on whatever engine it owns.
         self._run: MatchRun | CompiledRun = matcher.start()
 
     def feed(self, child_name: str) -> bool:

@@ -48,11 +48,11 @@ from ..core.determinism import DeterminismReport
 from ..core.numeric import NumericDeterminismReport
 from ..diagnostics import ValidationResult, diagnose
 from ..errors import InvalidExpressionError
-from ..matching.runtime import CompiledRuntime, aggregate_stats
+from ..matching.plan import PLANNER
+from ..matching.runtime import aggregate_stats
 from ..regex.ast import Regex, Repeat, Sym, concat, union
 from .document import Element
 from .dtd import describe_expected
-from .memo import AcceptanceMemo
 from .validator import Violation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports nothing from here)
@@ -202,16 +202,14 @@ class XSDSchema:
     types: dict[str, Particle] = field(default_factory=dict)
     compiled: bool = True
     _patterns: dict[str, "Pattern | None"] = field(default_factory=dict, repr=False)
-    #: name → resolved matching engine (CompiledRuntime when ``compiled``,
-    #: else the direct matcher); memoized so the per-element cost of
-    #: validation is one dict probe, with no Pattern property traffic.
-    _engines: dict = field(default_factory=dict, repr=False)
-    #: name → per-element acceptance memo (compiled path only), shared
-    #: through the pattern and persisted in the ``MEMO`` snapshot section.
-    _memos: dict = field(default_factory=dict, repr=False)
-    #: serialises memo misses so concurrent validators resolve one engine
-    #: per element; warm validation probes the memo dicts lock-free.
-    #: Re-entrant because the engine miss path resolves the pattern memo
+    #: name → execution plan (the single owner of the engine choice:
+    #: compiled runtime + acceptance memo when ``compiled``, else the
+    #: direct matcher); memoized so the per-element cost of validation is
+    #: one dict probe, with no Pattern property traffic.
+    _plans: dict = field(default_factory=dict, repr=False)
+    #: serialises plan misses so concurrent validators resolve one plan
+    #: per element; warm validation probes the plan dict lock-free.
+    #: Re-entrant because the plan miss path resolves the pattern memo
     #: while already holding it.
     _memo_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
@@ -227,8 +225,7 @@ class XSDSchema:
         # the module cache for any other schema still declaring it.
         with self._memo_lock:
             self._patterns.pop(name, None)
-            self._engines.pop(name, None)
-            self._memos.pop(name, None)
+            self._plans.pop(name, None)
 
     def to_dict(self) -> dict:
         """JSON-serialisable rendering; :func:`schema_from_dict` is the inverse."""
@@ -283,39 +280,29 @@ class XSDSchema:
         content model.  *_element*/*_path* are supplied by the
         :meth:`validate_element` walk to locate violations.
         """
-        engines = self._engines
-        if name in engines:  # lock-free warm probe (the per-element steady state)
-            engine = engines[name]
+        plans = self._plans
+        if name in plans:  # lock-free warm probe (the per-element steady state)
+            plan = plans[name]
         else:
             with self._memo_lock:
-                if name in engines:
-                    engine = engines[name]
+                if name in plans:
+                    plan = plans[name]
                 else:
                     pattern = self._pattern_for(name)
                     if pattern is None:
-                        engine = None
-                    elif self.compiled:
-                        engine = pattern.runtime
-                        self._memos[name] = pattern.acceptance_memo()
+                        plan = None
                     else:
-                        engine = pattern.matcher
-                    engine = engines[name] = engine
-        if engine is None:
+                        # ``compiled`` only overrides the execution mode;
+                        # the pattern's cache identity is unchanged, so
+                        # the underlying rows stay shared process-wide.
+                        plan = PLANNER.plan(pattern, compiled=self.compiled).prime()
+                    plan = plans[name] = plan
+        if plan is None:
             # Undeclared elements are unconstrained in this mini-schema.
             return ValidationResult(True)
-        # Dispatch on what was memoized, not on the (mutable) `compiled`
-        # flag: an engine chosen before the flag was flipped keeps working.
-        if type(engine) is CompiledRuntime:
-            memo: AcceptanceMemo | None = self._memos.get(name)
-            if memo is not None:
-                # Whole-sequence fast path: repeated child sequences (the
-                # Li et al. workload) are answered by one dict probe.
-                allowed = memo.accepts(engine, child_names)
-            else:
-                allowed = engine.accepts_encoded(engine.encode(child_names))
-        else:
-            allowed = engine.accepts(list(child_names))
-        if allowed:
+        # The plan memoized the engine choice: one chosen before the
+        # (mutable) `compiled` flag was flipped keeps working.
+        if plan.accepts_children(child_names):
             return ValidationResult(True)
         return ValidationResult(
             False, (self._children_violation(name, child_names, _element, _path),)
@@ -435,7 +422,10 @@ class XSDSchema:
             if runtime is not None:
                 named.append((name, runtime))
         stats = aggregate_stats(named)
-        stats["memos"] = {
-            name: memo.stats() for name, memo in self._memos.items() if memo is not None
-        }
+        memos = {}
+        for name, plan in self._plans.items():
+            memo = plan.built_memo() if plan is not None else None
+            if memo is not None:
+                memos[name] = memo.stats()
+        stats["memos"] = memos
         return stats

@@ -370,7 +370,7 @@ class TestValidatorFastPath:
     def test_repeated_elements_share_memoized_rows(self):
         dtd = parse_dtd(self.DTD_TEXT)
         validator = DTDValidator(dtd)
-        runtime = validator._runtimes["product"]
+        runtime = validator._plans["product"].built_runtime()
         validator.validate(self._document())
         warm = runtime.misses
         validator.validate(self._document())

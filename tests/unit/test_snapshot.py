@@ -13,7 +13,7 @@ import json
 import pytest
 
 import repro
-from repro import api
+from repro import cache
 from repro.matching import CompiledRuntime, build_matcher
 from repro.matching import snapshot as snapshot_format
 from repro.matching.snapshot import SnapshotError
@@ -161,7 +161,7 @@ class TestCorruption:
         for word in WORDS:
             pattern.match(word)
         key = (EXPR, "paper", "auto", True)
-        meta = api._snapshot_meta(key, pattern)
+        meta = cache.snapshot_meta(key, pattern)
         export = pattern.runtime.export_rows()
         bad_rows = {state: list(row) + [0] for state, row in export["rows"].items()}
         path = tmp_path / "rows.snapshot"
@@ -185,7 +185,7 @@ class TestCorruption:
         for word in WORDS:
             pattern.match(word)
         key = (EXPR, "paper", "auto", True)
-        meta = api._snapshot_meta(key, pattern)
+        meta = cache.snapshot_meta(key, pattern)
         export = pattern.runtime.export_rows()
         stale = dict(meta)
         stale["alphabet"] = meta["alphabet"] + ["zzz"]  # a different-build encoding

@@ -17,7 +17,7 @@ import urllib.request
 import pytest
 
 import repro
-from repro import api
+from repro import cache
 from repro.matching import snapshot as snapshot_format
 from repro.matching.snapshot import SnapshotError
 from repro.matching.star_free import StarFreeMultiMatcher
@@ -102,7 +102,7 @@ class TestV2RoundTrip:
         assert _verdicts_now() == _oracle()
 
         # The adopted star-free tables really landed on the matcher.
-        multi = repro.compile(STAR_FREE_EXPR)._built_batch_matcher()
+        multi = repro.compile(STAR_FREE_EXPR).plan.built_star_free()
         assert multi is not None
         stats = multi.table_stats()
         assert stats["adopted_decisions"] > 0 or stats["adopted_accepts"] > 0
@@ -159,7 +159,7 @@ class TestV1Compatibility:
         for word in ROWS_WORDS:
             pattern.match(word)
         key = (ROWS_EXPR, "paper", "auto", True)
-        meta = api._snapshot_meta(key, pattern)
+        meta = cache.snapshot_meta(key, pattern)
         export = pattern.runtime.export_rows()
         written = snapshot_format.write_v1(
             path,
@@ -293,10 +293,10 @@ class TestSectionDegradation:
         pattern = repro.compile(STAR_FREE_EXPR)
         pattern.match_all(STAR_FREE_WORDS)
         key = (STAR_FREE_EXPR, "paper", "auto", True)
-        meta = api._snapshot_meta(key, pattern)
+        meta = cache.snapshot_meta(key, pattern)
         stale = dict(meta)
         stale["alphabet"] = meta["alphabet"] + ["zzz"]
-        tables = pattern._built_batch_matcher().export_tables()
+        tables = pattern.plan.built_star_free().export_tables()
         path = tmp_path / "stale.snapshot"
         snapshot_format.write(
             path,
@@ -386,7 +386,7 @@ class TestAcceptanceMemo:
         validator = DTDValidator(parse_dtd(DTD_TEXT))
         document = parse_document("<a><b/><c/></a>")
         assert validator.is_valid(document)
-        memo = validator._memos["a"]
+        memo = validator._plans["a"].built_memo()
         assert memo is not None and len(memo) == 1
         hits_before = memo.hits
         assert validator.is_valid(document)
@@ -395,7 +395,7 @@ class TestAcceptanceMemo:
     def test_memo_is_shared_across_validators_of_one_model(self):
         first = DTDValidator(parse_dtd(DTD_TEXT))
         second = DTDValidator(parse_dtd(DTD_TEXT))
-        assert first._memos["a"] is second._memos["a"]
+        assert first._plans["a"].built_memo() is second._plans["a"].built_memo()
 
     def test_adopt_validates_before_mutating(self):
         memo = AcceptanceMemo()

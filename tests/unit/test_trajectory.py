@@ -95,3 +95,38 @@ def test_main_fails_loudly_on_empty_input(tmp_path):
     garbage.write_text("[]")
     out = tmp_path / "BENCH_trajectory.json"
     assert trajectory.main([str(garbage), "--out", str(out)]) == 1
+
+
+def test_merge_flags_artifacts_with_zero_benchmarks(tmp_path):
+    """A leg that ran with benchmarks disabled writes `"benchmarks": []`.
+
+    It must surface in ``empty`` (and the markdown warning) instead of
+    silently counting as a merged source — this was how whole legs went
+    missing from the trajectory without failing anything.
+    """
+    good = _bench_file(tmp_path / "BENCH_ok.json", {"test_y": 0.25})
+    hollow = tmp_path / "BENCH_disabled.json"
+    hollow.write_text(json.dumps({"benchmarks": []}))
+    merged = trajectory.merge([good, hollow])
+    assert merged["empty"] == [str(hollow)]
+    assert len(merged["sources"]) == 2
+    assert "zero benchmarks" in trajectory.to_markdown(merged)
+
+
+def test_main_min_files_guard_fails_when_a_leg_is_missing(tmp_path):
+    good = _bench_file(tmp_path / "BENCH_ok.json", {"test_y": 0.25})
+    out = tmp_path / "BENCH_trajectory.json"
+    assert trajectory.main([str(good), "--out", str(out), "--min-files", "2"]) == 1
+    # The partial artifact is still written for post-mortems.
+    assert json.loads(out.read_text())["benchmarks"]
+
+
+def test_main_min_files_guard_ignores_empty_artifacts(tmp_path):
+    good = _bench_file(tmp_path / "BENCH_ok.json", {"test_y": 0.25})
+    hollow = tmp_path / "BENCH_disabled.json"
+    hollow.write_text(json.dumps({"benchmarks": []}))
+    out = tmp_path / "BENCH_trajectory.json"
+    argv = [str(good), str(hollow), "--out", str(out), "--min-files", "2"]
+    assert trajectory.main(argv) == 1
+    argv[-1] = "1"
+    assert trajectory.main(argv) == 0

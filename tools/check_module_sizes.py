@@ -1,0 +1,59 @@
+"""Fail when any first-party module grows beyond the size budget.
+
+The api.py god-module accreted past 1200 lines before it was split into
+a facade plus ``repro/cache.py`` and ``repro/matching/plan.py``, and the
+asyncio front repeated the pattern at 1000+.  This guard (run by the CI
+lint job, and locally as ``python tools/check_module_sizes.py``) keeps
+both splits honest: no module under ``src/repro`` may exceed
+:data:`MAX_LINES` physical lines.
+
+When a module trips the limit, split along an ownership seam (the way
+``service/aio.py`` shed its framing helpers and entry points) instead of
+raising the budget.  Stdlib only, so the CI runner's bare python works.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+#: Physical-line budget per module.  Deliberately looser than any
+#: current module so the guard only fires on real re-accretion.
+MAX_LINES = 900
+
+#: The tree the budget applies to, relative to the repo root.
+SOURCE_ROOT = Path("src") / "repro"
+
+
+def oversized_modules(root: Path, limit: int = MAX_LINES) -> list[tuple[Path, int]]:
+    """Every ``.py`` file under *root* longer than *limit* lines."""
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        lines = path.read_text(encoding="utf-8").count("\n")
+        if lines > limit:
+            offenders.append((path, lines))
+    return offenders
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = argv if argv is not None else sys.argv[1:]
+    repo_root = Path(__file__).resolve().parent.parent
+    root = Path(arguments[0]) if arguments else repo_root / SOURCE_ROOT
+    if not root.is_dir():
+        print(f"no such source tree: {root}", file=sys.stderr)
+        return 2
+    offenders = oversized_modules(root)
+    if offenders:
+        for path, lines in offenders:
+            print(
+                f"{path}: {lines} lines exceeds the {MAX_LINES}-line module budget "
+                "(split along an ownership seam; do not raise the budget)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"module sizes OK: every module under {root} is <= {MAX_LINES} lines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
